@@ -1,0 +1,244 @@
+// Command lcrbbench regenerates the paper's evaluation: the OPOAO figures
+// (4-6), the DOAM figures (7-9) and Table I, printing each as an aligned
+// text table (or CSV) together with a qualitative shape report comparing
+// the reproduction against the paper's claims.
+//
+// Usage:
+//
+//	lcrbbench -exp all -scale 0.1          # fast, scaled-down pass
+//	lcrbbench -exp fig4 -scale 1 -csv      # full-size Figure 4 as CSV
+//	lcrbbench -exp table1 -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lcrb/internal/experiment"
+	"lcrb/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lcrbbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lcrbbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp   = fs.String("exp", "all", "experiment: fig4..fig9, table1, opoao, doam, alpha, detector, noise, nullmodel, extended, transfer or all")
+		scale = fs.Float64("scale", 0.1, "network scale (1.0 = paper size; expect long runtimes)")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		quiet = fs.Bool("quiet", false, "suppress progress output on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	jobs, err := selectJobs(*exp, *scale)
+	if err != nil {
+		return err
+	}
+	for _, job := range jobs {
+		if !*quiet {
+			fmt.Fprintf(stderr, "running %s (scale %.2f)...\n", job.cfg.Name, *scale)
+		}
+		start := time.Now()
+		if err := job.run(stdout, *csv); err != nil {
+			return fmt.Errorf("%s: %w", job.cfg.Name, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "%s done in %v\n", job.cfg.Name, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// job couples a config with its runner kind.
+type job struct {
+	cfg  experiment.Config
+	kind string // "opoao", "doam" or "table"
+}
+
+// selectJobs expands the experiment selector into concrete jobs.
+func selectJobs(exp string, scale float64) ([]job, error) {
+	var jobs []job
+	add := func(kind string, cfgs ...experiment.Config) {
+		for _, c := range cfgs {
+			jobs = append(jobs, job{cfg: c, kind: kind})
+		}
+	}
+	switch exp {
+	case "fig4":
+		add("opoao", experiment.Fig4(scale))
+	case "fig5":
+		add("opoao", experiment.Fig5(scale))
+	case "fig6":
+		add("opoao", experiment.Fig6(scale))
+	case "fig7":
+		add("doam", experiment.Fig7(scale))
+	case "fig8":
+		add("doam", experiment.Fig8(scale))
+	case "fig9":
+		add("doam", experiment.Fig9(scale))
+	case "table1":
+		add("table", experiment.Table1(scale)...)
+	case "opoao":
+		add("opoao", experiment.Fig4(scale), experiment.Fig5(scale), experiment.Fig6(scale))
+	case "doam":
+		add("doam", experiment.Fig7(scale), experiment.Fig8(scale), experiment.Fig9(scale))
+	case "alpha":
+		cfg := experiment.Fig4(scale)
+		cfg.Name = "alpha-sweep"
+		cfg.Title = "LCRB-P protection-level sweep (extension)"
+		add("alpha", cfg)
+	case "detector":
+		cfg := experiment.Fig7(scale)
+		cfg.Name = "detector-ablation"
+		cfg.Title = "Louvain vs label propagation (ablation)"
+		add("detector", cfg)
+	case "noise":
+		cfg := experiment.Fig7(scale)
+		cfg.Name = "noise-ablation"
+		cfg.Title = "Community-noise robustness (ablation)"
+		add("noise", cfg)
+	case "nullmodel":
+		cfg := experiment.Fig7(scale)
+		cfg.Name = "nullmodel-ablation"
+		cfg.Title = "Degree-preserving null model (ablation)"
+		add("nullmodel", cfg)
+	case "extended":
+		cfg := experiment.Fig7(scale)
+		cfg.Name = "extended-comparison"
+		cfg.Title = "SCBG vs extended baseline roster (extension)"
+		add("extended", cfg)
+	case "transfer":
+		cfg := experiment.Fig7(scale)
+		cfg.Name = "model-transfer"
+		cfg.Title = "SCBG solution under other diffusion models (extension)"
+		add("transfer", cfg)
+	case "all":
+		add("opoao", experiment.Fig4(scale), experiment.Fig5(scale), experiment.Fig6(scale))
+		add("table", experiment.Table1(scale)...)
+		add("doam", experiment.Fig7(scale), experiment.Fig8(scale), experiment.Fig9(scale))
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (want fig4..fig9, table1, opoao, doam, alpha, detector, noise, nullmodel, extended, transfer or all)", exp)
+	}
+	return jobs, nil
+}
+
+// run executes the job and writes its report.
+func (j job) run(w io.Writer, csv bool) error {
+	switch j.kind {
+	case "detector":
+		// The detector ablation performs its own twin setups.
+		abl, err := experiment.RunDetectorAblation(j.cfg)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteDetectorAblation(w, abl)
+	case "nullmodel":
+		abl, err := experiment.RunNullModelAblation(j.cfg, gen.RewireAll)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteNullModelAblation(w, abl)
+	}
+	inst, err := experiment.Setup(j.cfg)
+	if err != nil {
+		return err
+	}
+	switch j.kind {
+	case "opoao":
+		fr, err := experiment.RunFigureOPOAO(inst)
+		if err != nil {
+			return err
+		}
+		if err := writeFigure(w, fr, csv); err != nil {
+			return err
+		}
+		return writeShape(w, experiment.CheckFigureOPOAO(fr, 0.10))
+	case "doam":
+		fr, err := experiment.RunFigureDOAM(inst)
+		if err != nil {
+			return err
+		}
+		if err := writeFigure(w, fr, csv); err != nil {
+			return err
+		}
+		return writeShape(w, experiment.CheckFigureDOAM(fr, 0.10))
+	case "alpha":
+		sweep, err := experiment.RunAlphaSweep(inst, []float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95})
+		if err != nil {
+			return err
+		}
+		return experiment.WriteAlphaSweep(w, sweep)
+	case "noise":
+		abl, err := experiment.RunNoiseAblation(inst, []float64{0, 0.1, 0.25, 0.5, 0.75})
+		if err != nil {
+			return err
+		}
+		return experiment.WriteNoiseAblation(w, abl)
+	case "extended":
+		cmp, err := experiment.RunExtendedComparison(inst)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteExtendedComparison(w, cmp)
+	case "transfer":
+		tr, err := experiment.RunModelTransfer(inst)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteModelTransfer(w, tr)
+	case "table":
+		tr, err := experiment.RunTable(inst)
+		if err != nil {
+			return err
+		}
+		if csv {
+			if err := experiment.WriteTableCSV(w, tr); err != nil {
+				return err
+			}
+		} else if err := experiment.WriteTable(w, tr); err != nil {
+			return err
+		}
+		// The paper's own Hep block has Proximity winning the smallest-|R| row.
+		allowProximityWin := tr.Config.Dataset == experiment.Hep
+		return writeShape(w, experiment.CheckTable(tr, allowProximityWin))
+	default:
+		return fmt.Errorf("unknown job kind %q", j.kind)
+	}
+}
+
+func writeFigure(w io.Writer, fr *experiment.FigureResult, csv bool) error {
+	if csv {
+		return experiment.WriteFigureCSV(w, fr)
+	}
+	return experiment.WriteFigure(w, fr)
+}
+
+// writeShape prints the qualitative comparison against the paper.
+func writeShape(w io.Writer, r *experiment.ShapeReport) error {
+	if r.Ok() {
+		_, err := fmt.Fprintf(w, "shape: OK (%d checks match the paper)\n", r.Checks)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "shape: %d of %d checks deviate from the paper:\n", len(r.Issues), r.Checks); err != nil {
+		return err
+	}
+	for _, issue := range r.Issues {
+		if _, err := fmt.Fprintf(w, "  - %s\n", issue); err != nil {
+			return err
+		}
+	}
+	return nil
+}

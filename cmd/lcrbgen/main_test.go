@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lcrb/internal/graph"
+)
+
+func TestRunGeneratesToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-dataset", "hep", "-scale", "0.01", "-seed", "3"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := graph.ReadEdgeList(&out)
+	if err != nil {
+		t.Fatalf("output is not a valid edge list: %v", err)
+	}
+	if el.Graph.NumEdges() == 0 {
+		t.Fatal("generated an empty graph")
+	}
+	if !strings.Contains(errBuf.String(), "communities planted") {
+		t.Fatalf("missing summary on stderr: %q", errBuf.String())
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	edges := filepath.Join(dir, "net.txt")
+	comms := filepath.Join(dir, "net.comm")
+	err := run([]string{
+		"-dataset", "custom", "-nodes", "200", "-avgdeg", "5",
+		"-out", edges, "-communities", comms,
+	}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := graph.ReadEdgeListFile(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Graph.NumNodes() == 0 {
+		t.Fatal("edge-list file empty")
+	}
+}
+
+func TestRunCustomSymmetric(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-dataset", "custom", "-nodes", "100", "-avgdeg", "6", "-symmetric",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := graph.ReadEdgeList(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range el.Graph.Edges() {
+		if !el.Graph.HasEdge(e.V, e.U) {
+			t.Fatalf("edge (%d,%d) not reciprocal", e.U, e.V)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown dataset", []string{"-dataset", "nope"}},
+		{"bad scale", []string{"-dataset", "hep", "-scale", "9"}},
+		{"bad flag", []string{"-no-such-flag"}},
+		{"bad custom nodes", []string{"-dataset", "custom", "-nodes", "0"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, io.Discard, io.Discard); err == nil {
+				t.Fatal("invalid invocation accepted")
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-dataset", "enron", "-scale", "0.01", "-seed", "9"}, &a, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dataset", "enron", "-scale", "0.01", "-seed", "9"}, &b, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different outputs")
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLocatesPlantedSource(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-dataset", "hep", "-scale", "0.04", "-seed", "5",
+		"-sources", "1", "-observe-hops", "4",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"planted 1 source(s)", "rank", "true source", "ranked"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunDistanceMethodOnFile(t *testing.T) {
+	// A symmetric 10-node path graph from a file.
+	path := filepath.Join(t.TempDir(), "g.txt")
+	var sb strings.Builder
+	for i := 0; i < 9; i++ {
+		fmt.Fprintf(&sb, "%d %d\n%d %d\n", i, i+1, i+1, i)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-graph", path, "-method", "distance", "-sources", "1",
+		"-observe-hops", "3", "-seed", "2",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "distance-center") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad dataset", []string{"-dataset", "nope"}},
+		{"bad model", []string{"-dataset", "hep", "-scale", "0.03", "-model", "nope"}},
+		{"bad method", []string{"-dataset", "hep", "-scale", "0.03", "-method", "nope"}},
+		{"zero sources", []string{"-dataset", "hep", "-scale", "0.03", "-sources", "0"}},
+		{"bad flag", []string{"-bogus"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, io.Discard, io.Discard); err == nil {
+				t.Fatal("invalid invocation accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+// Command lcrbstats prints structural statistics of a network: size,
+// density, degree distribution summary, connectivity, PageRank hubs,
+// detected community structure and (optionally) the bridge ends of a
+// chosen community.
+//
+// Usage:
+//
+//	lcrbstats -graph net.txt
+//	lcrbstats -dataset enron -scale 0.1 -community-size 80 -rumor-frac 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"lcrb/internal/bridge"
+	"lcrb/internal/community"
+	"lcrb/internal/gen"
+	"lcrb/internal/graph"
+	"lcrb/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lcrbstats:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lcrbstats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		graphPath = fs.String("graph", "", "edge-list file to analyze (overrides -dataset)")
+		dataset   = fs.String("dataset", "hep", "generated dataset when no -graph: hep or enron")
+		scale     = fs.Float64("scale", 0.1, "generated network scale")
+		seed      = fs.Uint64("seed", 1, "generation / detection seed")
+		commSize  = fs.Int("community-size", 0, "if > 0, analyze the community closest to this size")
+		rumorFrac = fs.Float64("rumor-frac", 0.05, "rumor seeds as a fraction of the community")
+		topComms  = fs.Int("top-communities", 10, "how many detected communities to list")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadGraph(*graphPath, *dataset, *scale, *seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "nodes: %d\nedges: %d\navg degree: %.2f\ndensity: %.6f\n",
+		g.NumNodes(), g.NumEdges(), g.AvgDegree(), g.Density())
+	out := g.OutDegreeStats()
+	in := g.InDegreeStats()
+	fmt.Fprintf(stdout, "out-degree: min %d, median %.1f, mean %.2f, max %d\n", out.Min, out.Median, out.Mean, out.Max)
+	fmt.Fprintf(stdout, "in-degree:  min %d, median %.1f, mean %.2f, max %d\n", in.Min, in.Median, in.Mean, in.Max)
+	_, ncomp := graph.WeaklyConnectedComponents(g)
+	fmt.Fprintf(stdout, "weak components: %d\n", ncomp)
+	sccComp, nscc := graph.StronglyConnectedComponents(g)
+	fmt.Fprintf(stdout, "strong components: %d (largest: %d nodes)\n",
+		nscc, len(graph.LargestComponent(sccComp, nscc)))
+	topPR := graph.TopByPageRank(g, 5, graph.PageRankOptions{})
+	fmt.Fprintf(stdout, "top pagerank nodes: %v\n", topPR)
+
+	part := community.Louvain(g, community.LouvainOptions{Seed: *seed})
+	fmt.Fprintf(stdout, "\nlouvain communities: %d (modularity %.4f)\n",
+		part.Count(), community.Modularity(g, part))
+	tw := tabwriter.NewWriter(stdout, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "community\tsize\t")
+	ids := part.BySizeDescending()
+	for i, c := range ids {
+		if i >= *topComms {
+			break
+		}
+		fmt.Fprintf(tw, "%d\t%d\t\n", c, part.Size(c))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if *commSize > 0 {
+		comm := part.ClosestBySize(int32(*commSize))
+		members := part.Members(comm)
+		src := rng.New(*seed + 7)
+		k := int32(float64(len(members)) * *rumorFrac)
+		if k < 1 {
+			k = 1
+		}
+		var rumors []int32
+		for _, i := range src.SampleInt32(int32(len(members)), k) {
+			rumors = append(rumors, members[i])
+		}
+		ends, err := bridge.FindEnds(g, part.Assign(), comm, rumors)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nselected community %d: |C| = %d, |R| = %d, |B| = %d bridge ends\n",
+			comm, len(members), len(rumors), len(ends))
+	}
+	return nil
+}
+
+// loadGraph reads the graph from a file or generates a calibrated one.
+func loadGraph(path, dataset string, scale float64, seed uint64) (*graph.Graph, error) {
+	if path != "" {
+		el, err := graph.ReadEdgeListFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return el.Graph, nil
+	}
+	var (
+		net *gen.Network
+		err error
+	)
+	switch dataset {
+	case "hep":
+		net, err = gen.Hep(scale, seed)
+	case "enron":
+		net, err = gen.Enron(scale, seed)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return net.Graph, nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunOnGeneratedNetwork(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-dataset", "hep", "-scale", "0.02", "-community-size", "40",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"nodes:", "avg degree:", "weak components:", "strong components:",
+		"top pagerank nodes:", "louvain communities:", "bridge ends",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunOnGraphFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-graph", path}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "nodes: 3") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown dataset", []string{"-dataset", "nope"}},
+		{"missing file", []string{"-graph", "/no/such/file"}},
+		{"bad flag", []string{"-bogus"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, io.Discard, io.Discard); err == nil {
+				t.Fatal("invalid invocation accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module lcrb
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package bridge implements the paper's first algorithmic stage: finding
+// the bridge ends of a rumor community via Rumor Forward Search Trees
+// (RFSTs), and building the Bridge-end Backward Search Trees (BBSTs) that
+// the SCBG algorithm converts into a set-cover instance.
+//
+// A bridge end is a node outside the rumor community that is reachable from
+// the rumor seeds along paths inside the community — the first individuals
+// in neighbouring communities the rumor can touch, and the nodes the LCRB
+// problem asks to protect.
+package bridge
+
+import (
+	"fmt"
+	"sort"
+
+	"lcrb/internal/graph"
+)
+
+// FindEnds computes the bridge-end set B by BFS from the rumor seeds
+// through the rumor community: expansion is confined to community members,
+// and every node reached outside the community is recorded as a bridge end
+// (an RFST leaf) without being expanded.
+//
+// assign maps every node to its community; rumorComm identifies the rumor
+// community C_r; rumors is the seed set S_R, which must lie inside C_r.
+// The returned slice is sorted.
+func FindEnds(g *graph.Graph, assign []int32, rumorComm int32, rumors []int32) ([]int32, error) {
+	if int32(len(assign)) != g.NumNodes() {
+		return nil, fmt.Errorf("bridge: assignment covers %d nodes, graph has %d", len(assign), g.NumNodes())
+	}
+	if len(rumors) == 0 {
+		return nil, fmt.Errorf("bridge: empty rumor seed set")
+	}
+	for _, r := range rumors {
+		if r < 0 || r >= g.NumNodes() {
+			return nil, fmt.Errorf("bridge: rumor seed %d out of range [0,%d)", r, g.NumNodes())
+		}
+		if assign[r] != rumorComm {
+			return nil, fmt.Errorf("bridge: rumor seed %d is in community %d, not rumor community %d",
+				r, assign[r], rumorComm)
+		}
+	}
+	dist := graph.RestrictedDistances(g, rumors, graph.Forward, func(u graph.NodeID) bool {
+		return assign[u] == rumorComm
+	})
+	var ends []int32
+	for v, d := range dist {
+		if d != graph.Unreachable && assign[v] != rumorComm {
+			ends = append(ends, int32(v))
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	return ends, nil
+}
+
+// BBSTs holds the Bridge-end Backward Search Trees of a problem instance.
+type BBSTs struct {
+	// Ends is the bridge-end set, in the order the trees are indexed.
+	Ends []int32
+	// Trees[i] is Q_{Ends[i]}: every node (rumor seeds excluded, the end
+	// itself included as N^0) whose BFS distance *to* the end is at most
+	// the end's rumor distance — the candidate protectors of that end.
+	// Each tree is sorted.
+	Trees [][]int32
+	// Depths[i] is the search depth of tree i: the distance from the
+	// nearest rumor seed to the end.
+	Depths []int32
+}
+
+// Build constructs the BBST of every bridge end: a backward BFS from the
+// end whose depth is fixed by the first rumor seed it meets (algorithm 3,
+// step 4). Nodes on the rumor side of a seed are excluded because the
+// protector cascade cannot pass through an already-infected node.
+func Build(g *graph.Graph, rumors, ends []int32) (*BBSTs, error) {
+	isRumor := make(map[int32]bool, len(rumors))
+	for _, r := range rumors {
+		if r < 0 || r >= g.NumNodes() {
+			return nil, fmt.Errorf("bridge: rumor seed %d out of range [0,%d)", r, g.NumNodes())
+		}
+		isRumor[r] = true
+	}
+	out := &BBSTs{
+		Ends:   append([]int32(nil), ends...),
+		Trees:  make([][]int32, len(ends)),
+		Depths: make([]int32, len(ends)),
+	}
+	for i, v := range ends {
+		if v < 0 || v >= g.NumNodes() {
+			return nil, fmt.Errorf("bridge: bridge end %d out of range [0,%d)", v, g.NumNodes())
+		}
+		if isRumor[v] {
+			return nil, fmt.Errorf("bridge: bridge end %d is a rumor seed", v)
+		}
+		tree, depth := backwardTree(g, isRumor, v)
+		out.Trees[i] = tree
+		out.Depths[i] = depth
+	}
+	return out, nil
+}
+
+// backwardTree runs the depth-limited backward BFS from end v. The limit is
+// discovered on the fly: the first rumor seed encountered at depth L caps
+// the search at L. Returns the sorted candidate set and L (-1 if no rumor
+// seed is backward-reachable, in which case every backward-reachable node
+// is a candidate).
+func backwardTree(g *graph.Graph, isRumor map[int32]bool, v int32) ([]int32, int32) {
+	dist := make(map[int32]int32, 64)
+	dist[v] = 0
+	queue := []int32{v}
+	limit := int32(-1)
+	var tree []int32
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		d := dist[u]
+		if limit >= 0 && d > limit {
+			break // BFS order: everything past this is deeper than the cap
+		}
+		if isRumor[u] {
+			if limit < 0 {
+				limit = d
+			}
+			continue // rumor seeds cannot protect and block the search
+		}
+		tree = append(tree, u)
+		if limit >= 0 && d == limit {
+			continue // at the cap: record but do not expand
+		}
+		for _, w := range g.In(u) {
+			if _, seen := dist[w]; !seen {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	sort.Slice(tree, func(i, j int) bool { return tree[i] < tree[j] })
+	return tree, limit
+}
+
+// Coverage is the inversion of the BBSTs (algorithm 3, step 5): for each
+// candidate protector u, the set SW_u of bridge ends it can protect.
+type Coverage struct {
+	// Candidates lists every node that appears in at least one tree,
+	// sorted ascending.
+	Candidates []int32
+	// Covers[i] lists the *indices into Ends* of the bridge ends candidate
+	// i protects, sorted ascending.
+	Covers [][]int32
+	// Ends mirrors BBSTs.Ends for convenience.
+	Ends []int32
+}
+
+// Invert builds the Coverage from the trees.
+func (b *BBSTs) Invert() *Coverage {
+	byNode := make(map[int32][]int32)
+	for i, tree := range b.Trees {
+		for _, u := range tree {
+			byNode[u] = append(byNode[u], int32(i))
+		}
+	}
+	candidates := make([]int32, 0, len(byNode))
+	for u := range byNode {
+		candidates = append(candidates, u)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	covers := make([][]int32, len(candidates))
+	for i, u := range candidates {
+		covers[i] = byNode[u] // tree iteration order is ascending in i already
+	}
+	return &Coverage{Candidates: candidates, Covers: covers, Ends: append([]int32(nil), b.Ends...)}
+}

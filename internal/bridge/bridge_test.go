@@ -1,0 +1,289 @@
+package bridge
+
+import (
+	"reflect"
+	"testing"
+
+	"lcrb/internal/community"
+	"lcrb/internal/gen"
+	"lcrb/internal/graph"
+	"lcrb/internal/rng"
+)
+
+func mustGraph(t *testing.T, n int32, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// twoCommunityFixture builds a small two-community graph:
+//
+//	community 0: 0 -> 1 -> 2, 0 -> 2
+//	community 1: 4 -> 5
+//	crossing:    2 -> 4 (from inside C0 to C1), 5 -> 3? no — node 3 is in C0 but unreachable.
+func twoCommunityFixture(t *testing.T) (*graph.Graph, []int32) {
+	t.Helper()
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, // inside community 0
+		{U: 2, V: 4}, // bridge edge into community 1
+		{U: 4, V: 5}, // inside community 1
+	})
+	assign := []int32{0, 0, 0, 0, 1, 1}
+	return g, assign
+}
+
+func TestFindEndsBasic(t *testing.T) {
+	g, assign := twoCommunityFixture(t)
+	ends, err := FindEnds(g, assign, 0, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 4 is the only node outside C0 reached through C0; node 5 is
+	// behind the bridge end and must NOT be expanded into.
+	if !reflect.DeepEqual(ends, []int32{4}) {
+		t.Fatalf("ends = %v, want [4]", ends)
+	}
+}
+
+func TestFindEndsDoesNotCrossThroughEnds(t *testing.T) {
+	// C0: 0 -> 1; crossing 1 -> 2 (C1), 2 -> 3 (C1 -> C2). Node 3 is only
+	// reachable through foreign community node 2, so it is not a bridge end.
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	assign := []int32{0, 0, 1, 2}
+	ends, err := FindEnds(g, assign, 0, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ends, []int32{2}) {
+		t.Fatalf("ends = %v, want [2]", ends)
+	}
+}
+
+func TestFindEndsUnreachableOutsider(t *testing.T) {
+	// An outside node with an in-edge from the community that the rumor
+	// cannot reach is not a bridge end.
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	assign := []int32{0, 0, 0, 1}
+	// Rumor at 0 reaches only node 1; node 2's edge to 3 is irrelevant.
+	ends, err := FindEnds(g, assign, 0, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 0 {
+		t.Fatalf("ends = %v, want empty", ends)
+	}
+}
+
+func TestFindEndsMultipleRumors(t *testing.T) {
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 4}, {U: 1, V: 5},
+	})
+	assign := []int32{0, 0, 0, 0, 1, 2}
+	ends, err := FindEnds(g, assign, 0, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ends, []int32{4, 5}) {
+		t.Fatalf("ends = %v, want [4 5]", ends)
+	}
+}
+
+func TestFindEndsValidation(t *testing.T) {
+	g, assign := twoCommunityFixture(t)
+	if _, err := FindEnds(g, assign[:3], 0, []int32{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := FindEnds(g, assign, 0, nil); err == nil {
+		t.Fatal("empty rumor set accepted")
+	}
+	if _, err := FindEnds(g, assign, 0, []int32{99}); err == nil {
+		t.Fatal("out-of-range rumor accepted")
+	}
+	if _, err := FindEnds(g, assign, 0, []int32{4}); err == nil {
+		t.Fatal("rumor outside its community accepted")
+	}
+}
+
+func TestBuildBBSTDepthAndMembers(t *testing.T) {
+	// Rumor 0; path 0 -> 1 -> 2 where 2 is the bridge end; plus a distant
+	// helper 4 -> 3 -> 2 and a too-distant node 5 -> 4.
+	// Backward BFS from 2 meets rumor 0 at depth 2, so Q_2 holds all
+	// non-rumor nodes within distance 2 of node 2: {1, 2, 3, 4}.
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2},
+		{U: 4, V: 3}, {U: 3, V: 2},
+		{U: 5, V: 4},
+	})
+	b, err := Build(g, []int32{0}, []int32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Depths[0] != 2 {
+		t.Fatalf("depth = %d, want 2", b.Depths[0])
+	}
+	if !reflect.DeepEqual(b.Trees[0], []int32{1, 2, 3, 4}) {
+		t.Fatalf("Q_2 = %v, want [1 2 3 4]", b.Trees[0])
+	}
+}
+
+func TestBuildBBSTExcludesNodesBehindRumors(t *testing.T) {
+	// 3 -> 0(R) -> 1, end = 1. The rumor is met at depth 1, and node 3
+	// sits behind it: the protector cascade cannot pass through node 0,
+	// so Q_1 = {1} only... node 3 is at depth 2 > limit anyway, and more
+	// importantly is only reachable through the rumor.
+	g := mustGraph(t, 4, []graph.Edge{{U: 3, V: 0}, {U: 0, V: 1}})
+	b, err := Build(g, []int32{0}, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Depths[0] != 1 {
+		t.Fatalf("depth = %d, want 1", b.Depths[0])
+	}
+	if !reflect.DeepEqual(b.Trees[0], []int32{1}) {
+		t.Fatalf("Q_1 = %v, want [1]", b.Trees[0])
+	}
+}
+
+func TestBuildBBSTNodesAtLimitIncludedButNotExpanded(t *testing.T) {
+	// end = 3; rumor 0 at backward depth 1 (0 -> 3). Node 2 also at depth
+	// 1 (2 -> 3) is included; node 1 (1 -> 2) at depth 2 is beyond the cap.
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 3}, {U: 2, V: 3}, {U: 1, V: 2}})
+	b, err := Build(g, []int32{0}, []int32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.Trees[0], []int32{2, 3}) {
+		t.Fatalf("Q_3 = %v, want [2 3]", b.Trees[0])
+	}
+}
+
+func TestBuildBBSTIncludesEndItself(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1}})
+	b, err := Build(g, []int32{0}, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range b.Trees[0] {
+		if u == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the bridge end must appear in its own tree (N^0(v) = v)")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}})
+	if _, err := Build(g, []int32{9}, []int32{1}); err == nil {
+		t.Fatal("out-of-range rumor accepted")
+	}
+	if _, err := Build(g, []int32{0}, []int32{9}); err == nil {
+		t.Fatal("out-of-range end accepted")
+	}
+	if _, err := Build(g, []int32{0}, []int32{0}); err == nil {
+		t.Fatal("rumor seed as bridge end accepted")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	b := &BBSTs{
+		Ends:  []int32{10, 20},
+		Trees: [][]int32{{5, 7, 10}, {7, 20}},
+	}
+	cov := b.Invert()
+	if !reflect.DeepEqual(cov.Candidates, []int32{5, 7, 10, 20}) {
+		t.Fatalf("Candidates = %v", cov.Candidates)
+	}
+	wantCovers := map[int32][]int32{5: {0}, 7: {0, 1}, 10: {0}, 20: {1}}
+	for i, u := range cov.Candidates {
+		if !reflect.DeepEqual(cov.Covers[i], wantCovers[u]) {
+			t.Fatalf("Covers[%d] (node %d) = %v, want %v", i, u, cov.Covers[i], wantCovers[u])
+		}
+	}
+	if !reflect.DeepEqual(cov.Ends, b.Ends) {
+		t.Fatalf("Ends = %v", cov.Ends)
+	}
+}
+
+func TestInvertEmpty(t *testing.T) {
+	cov := (&BBSTs{}).Invert()
+	if len(cov.Candidates) != 0 || len(cov.Covers) != 0 {
+		t.Fatal("empty BBSTs inverted into non-empty coverage")
+	}
+}
+
+// TestPipelineOnGeneratedNetwork exercises the full stage-1 pipeline on a
+// generated community network with Louvain-detected communities.
+func TestPipelineOnGeneratedNetwork(t *testing.T) {
+	net, err := gen.Community(gen.CommunityConfig{Nodes: 600, AvgDegree: 8, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := community.Louvain(net.Graph, community.LouvainOptions{Seed: 1})
+	comm := part.ClosestBySize(60)
+	members := part.Members(comm)
+	src := rng.New(5)
+	rumors := []int32{members[src.Intn(len(members))]}
+
+	assign := part.Assign()
+	ends, err := FindEnds(net.Graph, assign, comm, rumors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural checks: every end is outside the community, reachable,
+	// and has an in-neighbour inside the community.
+	for _, e := range ends {
+		if assign[e] == comm {
+			t.Fatalf("bridge end %d inside the rumor community", e)
+		}
+		hasInside := false
+		for _, w := range net.Graph.In(e) {
+			if assign[w] == comm {
+				hasInside = true
+				break
+			}
+		}
+		if !hasInside {
+			t.Fatalf("bridge end %d has no in-neighbour inside the rumor community", e)
+		}
+	}
+	if len(ends) == 0 {
+		t.Skip("no bridge ends for this draw; structural checks vacuous")
+	}
+
+	bb, err := Build(net.Graph, rumors, ends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tree := range bb.Trees {
+		if len(tree) == 0 {
+			t.Fatalf("end %d has an empty BBST", bb.Ends[i])
+		}
+		// Every tree node must be able to reach the end within the depth.
+		dist := graph.Distances(net.Graph, []int32{bb.Ends[i]}, graph.Backward)
+		for _, u := range tree {
+			if dist[u] == graph.Unreachable || (bb.Depths[i] >= 0 && dist[u] > bb.Depths[i]) {
+				t.Fatalf("tree node %d cannot protect end %d within depth %d",
+					u, bb.Ends[i], bb.Depths[i])
+			}
+		}
+	}
+	cov := bb.Invert()
+	// Every end must be coverable (at least by itself).
+	covered := make(map[int32]bool)
+	for _, idxs := range cov.Covers {
+		for _, i := range idxs {
+			covered[i] = true
+		}
+	}
+	for i := range bb.Ends {
+		if !covered[int32(i)] {
+			t.Fatalf("end index %d uncovered in inversion", i)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lcrb/internal/diffusion"
+)
+
+func TestEvaluateDOAMFixture(t *testing.T) {
+	p := fixtureProblem(t)
+	sol, err := SCBG(p, SCBGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(p, sol.Protectors, EvaluateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Samples != 1 {
+		t.Fatalf("DOAM evaluation used %d samples, want 1", ev.Samples)
+	}
+	if ev.MeanEndsInfected != 0 {
+		t.Fatalf("SCBG solution lost %.1f ends on the fixture", ev.MeanEndsInfected)
+	}
+	if ev.EndsProtectedFraction != 1 {
+		t.Fatalf("EndsProtectedFraction = %v", ev.EndsProtectedFraction)
+	}
+}
+
+func TestEvaluateNoBlockingBaseline(t *testing.T) {
+	p := fixtureProblem(t)
+	ev, err := Evaluate(p, nil, EvaluateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no protection the fixture's rumor reaches both ends.
+	if ev.MeanEndsInfected != 2 {
+		t.Fatalf("MeanEndsInfected = %v, want 2", ev.MeanEndsInfected)
+	}
+	if ev.EndsProtectedFraction != 0 {
+		t.Fatalf("EndsProtectedFraction = %v, want 0", ev.EndsProtectedFraction)
+	}
+}
+
+func TestEvaluateStochasticModel(t *testing.T) {
+	p := fixtureProblem(t)
+	ev, err := Evaluate(p, []int32{3}, EvaluateOptions{
+		Model:   diffusion.OPOAO{},
+		Samples: 30,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Samples != 30 {
+		t.Fatalf("Samples = %d", ev.Samples)
+	}
+	if ev.MeanEndsInfected < 0 || ev.MeanEndsInfected > 2 {
+		t.Fatalf("MeanEndsInfected = %v out of [0,2]", ev.MeanEndsInfected)
+	}
+	if math.Abs((1-ev.MeanEndsInfected/2)-ev.EndsProtectedFraction) > 1e-9 {
+		t.Fatalf("fraction inconsistent: %v vs %v", ev.MeanEndsInfected, ev.EndsProtectedFraction)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(nil, nil, EvaluateOptions{}); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+}
+
+func TestEvaluateReproducible(t *testing.T) {
+	p := fixtureProblem(t)
+	opts := EvaluateOptions{Model: diffusion.OPOAO{}, Samples: 20, Seed: 7}
+	a, err := Evaluate(p, []int32{4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(p, []int32{4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanInfected != b.MeanInfected || a.MeanEndsInfected != b.MeanEndsInfected {
+		t.Fatal("same seed produced different evaluations")
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"lcrb/internal/bridge"
+	"lcrb/internal/diffusion"
+	"lcrb/internal/rng"
+)
+
+// DefaultGreedyHops matches the paper's 31-hop OPOAO simulations.
+const DefaultGreedyHops = 31
+
+// GreedyOptions tunes the LCRB-P greedy algorithm.
+type GreedyOptions struct {
+	// Alpha is the fraction of bridge ends to protect, in (0, 1).
+	// Defaults to 0.9.
+	Alpha float64
+	// Samples is the number of Monte-Carlo realizations behind the σ̂
+	// estimate. Defaults to 30.
+	Samples int
+	// Seed drives the realizations; the same seed reproduces the run.
+	Seed uint64
+	// MaxHops bounds each simulated diffusion. Defaults to
+	// DefaultGreedyHops.
+	MaxHops int
+	// Candidates restricts the search space. Nil means the union of the
+	// bridge ends' backward search trees (every node that can reach a
+	// bridge end ahead of the rumor), which keeps the greedy tractable;
+	// supply all nodes explicitly to reproduce the unrestricted argmax of
+	// algorithm 1.
+	Candidates []int32
+	// Plain disables CELF lazy evaluation and re-evaluates every candidate
+	// each round, exactly as algorithm 1 is written. Output is identical;
+	// only the evaluation count changes. Kept for the ablation benchmark.
+	Plain bool
+	// MaxProtectors caps the seed-set size. 0 means |B|.
+	MaxProtectors int
+	// MaxCandidates caps the default candidate pool, keeping the nodes
+	// that appear in the most backward search trees (the ones able to
+	// protect the most bridge ends). 0 means DefaultMaxCandidates;
+	// negative means unlimited. Ignored when Candidates is set explicitly.
+	MaxCandidates int
+	// Realization selects the diffusion model σ̂ is estimated under. Nil
+	// means the paper's OPOAO model; diffusion.ICRealization(p) extends
+	// the greedy to the competitive Independent Cascade model (the
+	// paper's "other diffusion models" future-work direction).
+	Realization diffusion.Realization
+}
+
+// DefaultMaxCandidates bounds the greedy's default candidate pool. Every
+// σ̂ evaluation costs a full Monte-Carlo diffusion, so on large communities
+// an unbounded pool dominates the runtime; the cap keeps the strongest
+// candidates by bridge-end coverage.
+const DefaultMaxCandidates = 300
+
+// GreedyResult is the output of Greedy.
+type GreedyResult struct {
+	// Protectors is the selected seed set S_P, in selection order.
+	Protectors []int32
+	// ProtectedEnds is σ̂(S_P): the Monte-Carlo estimate of the expected
+	// number of bridge ends that end the diffusion uninfected.
+	ProtectedEnds float64
+	// BaselineEnds is σ̂(∅): bridge ends expected to stay uninfected with
+	// no protection at all (OPOAO does not reach everything in bounded
+	// hops).
+	BaselineEnds float64
+	// Achieved reports whether σ̂(S_P) reached the α·|B| target.
+	Achieved bool
+	// Evaluations counts σ̂ evaluations (the CELF-vs-plain ablation
+	// metric).
+	Evaluations int
+	// Gains records the marginal gain of each selected protector.
+	Gains []float64
+}
+
+// Greedy solves LCRB-P under the OPOAO model (algorithm 1): repeatedly add
+// the candidate with the largest marginal gain in expected protected bridge
+// ends until an α fraction of B is protected. σ(A) is monotone and
+// submodular (Theorem 1), so the greedy solution is within (1 − 1/e) of
+// optimal; submodularity also licenses the CELF lazy evaluation used here.
+//
+// σ̂ counts a bridge end as protected when the rumor fails to infect it
+// within MaxHops — whether because the protector cascade claimed it first
+// or because the rumor never arrived. This makes the α·|B| stopping rule of
+// algorithm 1 well defined for every α even when some ends are rarely
+// reached at all; the marginal gains, and hence the selection order, match
+// the paper's blocked-set definition of PB(A) exactly.
+func Greedy(p *Problem, opts GreedyOptions) (*GreedyResult, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: greedy: nil problem")
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.9
+	}
+	if opts.Alpha < 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("core: greedy: alpha = %v out of (0,1)", opts.Alpha)
+	}
+	if opts.Samples == 0 {
+		opts.Samples = 30
+	}
+	if opts.Samples < 0 {
+		return nil, fmt.Errorf("core: greedy: samples = %d must be positive", opts.Samples)
+	}
+	if opts.MaxHops == 0 {
+		opts.MaxHops = DefaultGreedyHops
+	}
+	if len(p.Ends) == 0 {
+		return nil, ErrNoBridgeEnds
+	}
+	candidates, err := greedyCandidates(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	maxProtectors := opts.MaxProtectors
+	if maxProtectors <= 0 {
+		maxProtectors = len(p.Ends)
+	}
+
+	// One fixed realization seed per Monte-Carlo sample: evaluating σ̂ for
+	// different protector sets reuses the same randomness (common random
+	// numbers), which is exactly the fixed (G_R, G_P) pair of Lemma 4.
+	realSeeds := make([]uint64, opts.Samples)
+	seedSrc := rng.New(opts.Seed)
+	for i := range realSeeds {
+		realSeeds[i] = seedSrc.Uint64()
+	}
+	realization := opts.Realization
+	if realization == nil {
+		realization = diffusion.RunOPOAORealization
+	}
+	ev := &sigmaEvaluator{p: p, realSeeds: realSeeds, maxHops: opts.MaxHops, run: realization}
+
+	res := &GreedyResult{}
+	baseline, err := ev.estimateErr(nil)
+	if err != nil {
+		// Surfaces configuration problems (e.g. an invalid custom
+		// realization) before the selection loops, which assume the
+		// evaluator is sound.
+		return nil, fmt.Errorf("core: greedy: evaluate baseline: %w", err)
+	}
+	res.BaselineEnds = baseline
+	res.Evaluations++
+
+	target := float64(p.RequiredEnds(opts.Alpha))
+	score := res.BaselineEnds
+	selected := make([]int32, 0, maxProtectors)
+
+	if opts.Plain {
+		res.plainLoop(ev, candidates, &selected, &score, target, maxProtectors)
+	} else {
+		res.celfLoop(ev, candidates, &selected, &score, target, maxProtectors)
+	}
+
+	res.Protectors = selected
+	res.ProtectedEnds = score
+	res.Achieved = score >= target
+	return res, nil
+}
+
+// greedyCandidates resolves the candidate pool.
+func greedyCandidates(p *Problem, opts GreedyOptions) ([]int32, error) {
+	if opts.Candidates != nil {
+		out := make([]int32, 0, len(opts.Candidates))
+		for _, u := range opts.Candidates {
+			if u < 0 || u >= p.Graph.NumNodes() {
+				return nil, fmt.Errorf("core: greedy: candidate %d out of range [0,%d)", u, p.Graph.NumNodes())
+			}
+			if !p.isRumor[u] {
+				out = append(out, u)
+			}
+		}
+		return out, nil
+	}
+	trees, err := bridge.Build(p.Graph, p.Rumors, p.Ends)
+	if err != nil {
+		return nil, fmt.Errorf("core: greedy: build candidate pool: %w", err)
+	}
+	// coverage[u] counts the backward search trees containing u: an upper
+	// bound on how many bridge ends u can protect.
+	coverage := make(map[int32]int)
+	for _, tree := range trees.Trees {
+		for _, u := range tree {
+			if !p.isRumor[u] {
+				coverage[u]++
+			}
+		}
+	}
+	out := make([]int32, 0, len(coverage))
+	for u := range coverage {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+
+	limit := opts.MaxCandidates
+	if limit == 0 {
+		limit = DefaultMaxCandidates
+	}
+	if limit > 0 && len(out) > limit {
+		// Keep the top candidates by coverage, ties to smaller node ids.
+		sort.SliceStable(out, func(i, j int) bool { return coverage[out[i]] > coverage[out[j]] })
+		out = out[:limit]
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out, nil
+}
+
+// sigmaEvaluator estimates σ̂(A) over the fixed realizations.
+type sigmaEvaluator struct {
+	p         *Problem
+	realSeeds []uint64
+	maxHops   int
+	run       diffusion.Realization
+}
+
+// estimateErr returns the mean number of bridge ends left uninfected when
+// the given protector seed set is used.
+func (ev *sigmaEvaluator) estimateErr(protectors []int32) (float64, error) {
+	var total int
+	for _, seed := range ev.realSeeds {
+		res, err := ev.run(
+			ev.p.Graph, ev.p.Rumors, protectors, seed,
+			diffusion.Options{MaxHops: ev.maxHops},
+		)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range ev.p.Ends {
+			if res.Status[e] != diffusion.Infected {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(len(ev.realSeeds)), nil
+}
+
+// estimate is estimateErr for the selection loops, which run only after
+// the baseline evaluation validated the configuration; a failure here is a
+// programming error.
+func (ev *sigmaEvaluator) estimate(protectors []int32) float64 {
+	v, err := ev.estimateErr(protectors)
+	if err != nil {
+		panic("core: sigma evaluation failed: " + err.Error())
+	}
+	return v
+}
+
+// plainLoop is algorithm 1 verbatim: every remaining candidate is
+// re-evaluated in every round.
+func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) {
+	remaining := append([]int32(nil), candidates...)
+	for *score < target && len(*selected) < maxProtectors && len(remaining) > 0 {
+		bestIdx, bestScore := -1, *score
+		for i, u := range remaining {
+			s := ev.estimate(append(*selected, u))
+			r.Evaluations++
+			if s > bestScore {
+				bestIdx, bestScore = i, s
+			}
+		}
+		if bestIdx < 0 {
+			break // no candidate has positive marginal gain
+		}
+		r.Gains = append(r.Gains, bestScore-*score)
+		*selected = append(*selected, remaining[bestIdx])
+		*score = bestScore
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+}
+
+// celfLoop exploits submodularity: a candidate's previous marginal gain is
+// an upper bound on its current one, so candidates are kept in a max-heap
+// of stale gains and only re-evaluated when they surface.
+func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) {
+	pq := make(celfQueue, len(candidates))
+	for i, u := range candidates {
+		// Infinity as the initial stale gain forces one evaluation each.
+		pq[i] = celfEntry{node: u, gain: float64(len(ev.p.Ends)) + 1, round: -1}
+	}
+	heap.Init(&pq)
+
+	round := 0
+	for *score < target && len(*selected) < maxProtectors && pq.Len() > 0 {
+		top := heap.Pop(&pq).(celfEntry)
+		if top.round == round {
+			// Fresh evaluation already on top: select it.
+			if top.gain <= 0 {
+				break
+			}
+			r.Gains = append(r.Gains, top.gain)
+			*selected = append(*selected, top.node)
+			*score += top.gain
+			round++
+			continue
+		}
+		s := ev.estimate(append(*selected, top.node))
+		r.Evaluations++
+		top.gain = s - *score
+		top.round = round
+		heap.Push(&pq, top)
+	}
+}
+
+// celfEntry is a CELF priority-queue entry.
+type celfEntry struct {
+	node  int32
+	gain  float64
+	round int
+}
+
+// celfQueue is a max-heap on gain (ties to the smaller node id for
+// determinism).
+type celfQueue []celfEntry
+
+func (q celfQueue) Len() int { return len(q) }
+func (q celfQueue) Less(i, j int) bool {
+	if q[i].gain != q[j].gain {
+		return q[i].gain > q[j].gain
+	}
+	return q[i].node < q[j].node
+}
+func (q celfQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *celfQueue) Push(x interface{}) {
+	*q = append(*q, x.(celfEntry))
+}
+func (q *celfQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,92 @@
+// Package core implements the paper's contribution: the Least Cost Rumor
+// Blocking (LCRB) problem and its two solvers — the submodular greedy
+// algorithm for LCRB-P under the OPOAO model (algorithm 1, accelerated with
+// CELF lazy evaluation) and the Set-Cover-Based Greedy (SCBG) algorithm for
+// LCRB-D under the DOAM model (algorithms 2 and 3).
+package core
+
+import (
+	"fmt"
+
+	"lcrb/internal/bridge"
+	"lcrb/internal/graph"
+)
+
+// Problem is an LCRB instance: a network, its community structure, a rumor
+// community and the rumor seeds inside it. Constructing a Problem runs the
+// first stage shared by both solvers — RFST bridge-end discovery.
+type Problem struct {
+	// Graph is the social network G(V, E, C).
+	Graph *graph.Graph
+	// Assign maps every node to its community.
+	Assign []int32
+	// RumorCommunity identifies C_r.
+	RumorCommunity int32
+	// Rumors is the rumor seed set S_R ⊆ V(C_r).
+	Rumors []int32
+	// Ends is the bridge-end set B, sorted ascending.
+	Ends []int32
+
+	// endIndex maps a node to its position in Ends (-1 elsewhere).
+	endIndex []int32
+	// isRumor marks the rumor seeds.
+	isRumor []bool
+}
+
+// NewProblem validates the instance and computes the bridge ends.
+func NewProblem(g *graph.Graph, assign []int32, rumorComm int32, rumors []int32) (*Problem, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	ends, err := bridge.FindEnds(g, assign, rumorComm, rumors)
+	if err != nil {
+		return nil, fmt.Errorf("core: find bridge ends: %w", err)
+	}
+	p := &Problem{
+		Graph:          g,
+		Assign:         assign,
+		RumorCommunity: rumorComm,
+		Rumors:         append([]int32(nil), rumors...),
+		Ends:           ends,
+		endIndex:       make([]int32, g.NumNodes()),
+		isRumor:        make([]bool, g.NumNodes()),
+	}
+	for i := range p.endIndex {
+		p.endIndex[i] = -1
+	}
+	for i, e := range ends {
+		p.endIndex[e] = int32(i)
+	}
+	for _, r := range rumors {
+		p.isRumor[r] = true
+	}
+	return p, nil
+}
+
+// NumEnds returns |B|.
+func (p *Problem) NumEnds() int { return len(p.Ends) }
+
+// IsEnd reports whether v is a bridge end.
+func (p *Problem) IsEnd(v int32) bool { return p.endIndex[v] >= 0 }
+
+// EndIndex returns v's position in Ends, or -1.
+func (p *Problem) EndIndex(v int32) int32 { return p.endIndex[v] }
+
+// IsRumor reports whether v is a rumor seed.
+func (p *Problem) IsRumor(v int32) bool { return p.isRumor[v] }
+
+// RequiredEnds returns ceil(alpha * |B|), the number of bridge ends that
+// must be protected at level alpha, clamped to [0, |B|].
+func (p *Problem) RequiredEnds(alpha float64) int {
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha >= 1 {
+		return len(p.Ends)
+	}
+	need := int(alpha * float64(len(p.Ends)))
+	if float64(need) < alpha*float64(len(p.Ends)) {
+		need++
+	}
+	return need
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"lcrb/internal/graph"
+)
+
+func mustGraph(t *testing.T, n int32, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// fixtureProblem builds the running example used across the core tests:
+//
+//	community 0 (rumor): 0 -> 1, 0 -> 2
+//	crossings:           1 -> 3, 2 -> 4   (3, 4 in community 1)
+//	community 1:         3 -> 5, 4 -> 5
+func fixtureProblem(t *testing.T) *Problem {
+	t.Helper()
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2},
+		{U: 1, V: 3}, {U: 2, V: 4},
+		{U: 3, V: 5}, {U: 4, V: 5},
+	})
+	assign := []int32{0, 0, 0, 1, 1, 1}
+	p, err := NewProblem(g, assign, 0, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProblemFindsEnds(t *testing.T) {
+	p := fixtureProblem(t)
+	if !reflect.DeepEqual(p.Ends, []int32{3, 4}) {
+		t.Fatalf("Ends = %v, want [3 4]", p.Ends)
+	}
+	if p.NumEnds() != 2 {
+		t.Fatalf("NumEnds = %d", p.NumEnds())
+	}
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}})
+	if _, err := NewProblem(nil, nil, 0, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewProblem(g, []int32{0, 0}, 0, []int32{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := NewProblem(g, []int32{0, 0, 1}, 0, []int32{2}); err == nil {
+		t.Fatal("rumor outside community accepted")
+	}
+}
+
+func TestProblemPredicates(t *testing.T) {
+	p := fixtureProblem(t)
+	if !p.IsEnd(3) || !p.IsEnd(4) || p.IsEnd(0) || p.IsEnd(5) {
+		t.Fatal("IsEnd wrong")
+	}
+	if p.EndIndex(3) != 0 || p.EndIndex(4) != 1 || p.EndIndex(5) != -1 {
+		t.Fatal("EndIndex wrong")
+	}
+	if !p.IsRumor(0) || p.IsRumor(1) {
+		t.Fatal("IsRumor wrong")
+	}
+}
+
+func TestRequiredEnds(t *testing.T) {
+	p := fixtureProblem(t) // |B| = 2
+	tests := []struct {
+		alpha float64
+		want  int
+	}{
+		{0, 0},
+		{-1, 0},
+		{0.4, 1},  // ceil(0.8) = 1
+		{0.5, 1},  // exactly 1
+		{0.75, 2}, // ceil(1.5) = 2
+		{1, 2},
+		{2, 2},
+	}
+	for _, tt := range tests {
+		if got := p.RequiredEnds(tt.alpha); got != tt.want {
+			t.Errorf("RequiredEnds(%v) = %d, want %d", tt.alpha, got, tt.want)
+		}
+	}
+}
+
+func TestProblemCopiesRumors(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}})
+	rumors := []int32{0}
+	p, err := NewProblem(g, []int32{0, 0, 0}, 0, rumors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rumors[0] = 2
+	if p.Rumors[0] != 0 {
+		t.Fatal("Problem aliased the caller's rumor slice")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lcrb/internal/community"
+	"lcrb/internal/diffusion"
+	"lcrb/internal/gen"
+	"lcrb/internal/rng"
+)
+
+// sigmaOnRealization evaluates |PB'(S)| for one fixed realization: the
+// number of bridge ends left uninfected when S is the protector seed set.
+func sigmaOnRealization(t *testing.T, p *Problem, protectors []int32, realSeed uint64) int {
+	t.Helper()
+	res, err := diffusion.RunOPOAORealization(p.Graph, p.Rumors, protectors, realSeed,
+		diffusion.Options{MaxHops: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range p.Ends {
+		if res.Status[e] != diffusion.Infected {
+			n++
+		}
+	}
+	return n
+}
+
+// randomProblem builds a small random LCRB instance for the σ property
+// tests; returns nil when the draw yields no bridge ends.
+func randomProblem(t *testing.T, seed uint64) *Problem {
+	t.Helper()
+	net, err := gen.Community(gen.CommunityConfig{Nodes: 250, AvgDegree: 7, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted, err := community.FromAssignment(net.Communities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := planted.ClosestBySize(40)
+	members := planted.Members(comm)
+	if len(members) < 3 {
+		return nil
+	}
+	p, err := NewProblem(net.Graph, planted.Assign(), comm, members[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumEnds() == 0 {
+		return nil
+	}
+	return p
+}
+
+// TestSigmaMonotoneOnRealizations is Lemma 4's monotonicity: under any
+// fixed realization, growing the protector set never unprotects a bridge
+// end.
+func TestSigmaMonotoneOnRealizations(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(func(netSeed, realSeed uint64) bool {
+		p := randomProblem(t, netSeed%1000)
+		if p == nil {
+			return true
+		}
+		src := rng.New(realSeed)
+		n := p.Graph.NumNodes()
+		pool := src.SampleInt32(n, 6)
+		var x []int32
+		for _, u := range pool {
+			if !p.IsRumor(u) {
+				x = append(x, u)
+			}
+		}
+		if len(x) < 2 {
+			return true
+		}
+		small := x[:len(x)/2]
+		return sigmaOnRealization(t, p, small, realSeed) <= sigmaOnRealization(t, p, x, realSeed)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSigmaSubmodularOnRealizations is Lemma 4's diminishing-returns
+// property: for X ⊆ Y and an extra node v, the marginal gain of v at X is
+// at least its gain at Y, on every fixed realization.
+func TestSigmaSubmodularOnRealizations(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	violations := 0
+	checks := 0
+	if err := quick.Check(func(netSeed, realSeed uint64) bool {
+		p := randomProblem(t, netSeed%1000)
+		if p == nil {
+			return true
+		}
+		src := rng.New(realSeed)
+		n := p.Graph.NumNodes()
+		pool := src.SampleInt32(n, 7)
+		var nodes []int32
+		for _, u := range pool {
+			if !p.IsRumor(u) {
+				nodes = append(nodes, u)
+			}
+		}
+		if len(nodes) < 3 {
+			return true
+		}
+		v := nodes[len(nodes)-1]
+		y := nodes[:len(nodes)-1]
+		x := y[:len(y)/2] // X ⊆ Y
+
+		gainX := sigmaOnRealization(t, p, append(append([]int32{}, x...), v), realSeed) -
+			sigmaOnRealization(t, p, x, realSeed)
+		gainY := sigmaOnRealization(t, p, append(append([]int32{}, y...), v), realSeed) -
+			sigmaOnRealization(t, p, y, realSeed)
+		checks++
+		if gainX < gainY {
+			violations++
+		}
+		return gainX >= gainY
+	}, cfg); err != nil {
+		t.Fatalf("submodularity violated in %d of %d checks: %v", violations, checks, err)
+	}
+}

@@ -1,0 +1,69 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"lcrb/internal/gen"
+)
+
+func TestMonteCarloParallelMatchesSerial(t *testing.T) {
+	g, err := gen.ErdosRenyi(150, 700, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rumors := []int32{0, 1}
+	protectors := []int32{2}
+	opts := Options{MaxHops: 20, RecordHops: true}
+
+	serial, err := MonteCarlo{Model: OPOAO{}, Samples: 24, Seed: 9}.
+		Run(g, rumors, protectors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, -1} {
+		parallel, err := MonteCarlo{Model: OPOAO{}, Samples: 24, Seed: 9, Workers: workers}.
+			Run(g, rumors, protectors, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if parallel.MeanInfected != serial.MeanInfected ||
+			parallel.MeanProtected != serial.MeanProtected {
+			t.Fatalf("workers=%d: means diverged: %.4f/%.4f vs %.4f/%.4f",
+				workers, parallel.MeanInfected, parallel.MeanProtected,
+				serial.MeanInfected, serial.MeanProtected)
+		}
+		for i := range serial.InfectedProb {
+			if math.Abs(parallel.InfectedProb[i]-serial.InfectedProb[i]) > 1e-12 {
+				t.Fatalf("workers=%d: InfectedProb[%d] diverged", workers, i)
+			}
+		}
+		for i := range serial.MeanInfectedAtHop {
+			if math.Abs(parallel.MeanInfectedAtHop[i]-serial.MeanInfectedAtHop[i]) > 1e-9 {
+				t.Fatalf("workers=%d: hop series diverged at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestMonteCarloWorkersExceedSamples(t *testing.T) {
+	g := pathGraph(t, 4)
+	agg, err := MonteCarlo{Model: DOAM{}, Samples: 2, Seed: 1, Workers: 16}.
+		Run(g, []int32{0}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.MeanInfected != 4 {
+		t.Fatalf("MeanInfected = %v", agg.MeanInfected)
+	}
+}
+
+func TestMonteCarloParallelErrorPropagates(t *testing.T) {
+	g := pathGraph(t, 3)
+	// Out-of-range seed makes every sample fail.
+	_, err := MonteCarlo{Model: OPOAO{}, Samples: 8, Seed: 1, Workers: 4}.
+		Run(g, []int32{99}, nil, Options{})
+	if err == nil {
+		t.Fatal("sample error swallowed by the parallel path")
+	}
+}

@@ -1,0 +1,102 @@
+package diffusion
+
+import (
+	"fmt"
+
+	"lcrb/internal/graph"
+)
+
+// Realization simulates both cascades under a *fixed* random realization
+// identified by realSeed: re-running with the same realSeed and a different
+// protector seed set reuses the same randomness. This common-random-numbers
+// contract is what makes the blocked set |PB(S)| a deterministic monotone
+// submodular set function per realization (the paper's Lemma 4), and it is
+// the evaluation backend of the LCRB-P greedy.
+type Realization func(g *graph.Graph, rumors, protectors []int32, realSeed uint64, opts Options) (*Result, error)
+
+// OPOAORealization is the Realization of the paper's OPOAO model; see
+// RunOPOAORealization.
+func OPOAORealization() Realization { return RunOPOAORealization }
+
+// ICRealization returns the Realization of the competitive Independent
+// Cascade model with edge probability p: a live-edge realization where
+// edge (u, v) is live iff a hash of (realSeed, u, v) falls below p, and
+// both cascades broadcast deterministically over live edges with P
+// priority. This extends the LCRB-P greedy to the IC model, one of the
+// paper's "other influence diffusion models" future-work directions.
+func ICRealization(p float64) Realization {
+	return func(g *graph.Graph, rumors, protectors []int32, realSeed uint64, opts Options) (*Result, error) {
+		return runICRealization(g, rumors, protectors, p, realSeed, opts)
+	}
+}
+
+// edgeLive reports whether edge (u, v) is live in the realization.
+func edgeLive(seed uint64, u, v int32, p float64) bool {
+	x := seed ^ (uint64(uint32(u))<<32 | uint64(uint32(v)))
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < p
+}
+
+// runICRealization is the deterministic live-edge IC engine.
+func runICRealization(g *graph.Graph, rumors, protectors []int32, p float64, realSeed uint64, opts Options) (*Result, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("diffusion: IC realization probability %v out of (0,1]", p)
+	}
+	status, err := seedState(g, rumors, protectors)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Status: status}
+
+	var frontierP, frontierR []int32
+	var infected, protected int32
+	for u, st := range status {
+		switch st {
+		case Infected:
+			infected++
+			frontierR = append(frontierR, int32(u))
+		case Protected:
+			protected++
+			frontierP = append(frontierP, int32(u))
+		}
+	}
+	res.recordHop(opts, infected, protected)
+	opts.emitSeeds(status)
+
+	var nextP, nextR []int32
+	maxHops := opts.maxHops()
+	hop := 0
+	for ; hop < maxHops && (len(frontierP) > 0 || len(frontierR) > 0); hop++ {
+		nextP, nextR = nextP[:0], nextR[:0]
+		for _, u := range frontierP {
+			for _, v := range g.Out(u) {
+				if status[v] == Inactive && edgeLive(realSeed, u, v, p) {
+					status[v] = Protected
+					protected++
+					nextP = append(nextP, v)
+					opts.emit(hop+1, v, Protected, u)
+				}
+			}
+		}
+		for _, u := range frontierR {
+			for _, v := range g.Out(u) {
+				if status[v] == Inactive && edgeLive(realSeed, u, v, p) {
+					status[v] = Infected
+					infected++
+					nextR = append(nextR, v)
+					opts.emit(hop+1, v, Infected, u)
+				}
+			}
+		}
+		frontierP, nextP = nextP, frontierP
+		frontierR, nextR = nextR, frontierR
+		res.recordHop(opts, infected, protected)
+	}
+	res.Hops = hop
+	res.Infected = infected
+	res.Protected = protected
+	return res, nil
+}

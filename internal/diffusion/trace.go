@@ -1,0 +1,126 @@
+package diffusion
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Event describes one node activation during a simulation.
+type Event struct {
+	// Hop is the step at which the node became active (0 for seeds).
+	Hop int
+	// Node is the activated node.
+	Node int32
+	// Status is Infected or Protected.
+	Status Status
+	// Source is the neighbour whose influence activated the node, or -1
+	// for seeds.
+	Source int32
+}
+
+// Observer receives activation events in activation order. Observers run
+// synchronously inside the simulation loop and must be fast; nil disables
+// tracing with no overhead beyond a pointer check.
+type Observer func(Event)
+
+// Trace records a simulation's activation events and answers provenance
+// queries: when was a node activated, by whom, and along which path.
+type Trace struct {
+	events []Event
+	// byNode maps a node to its event index (+1; 0 = not activated).
+	byNode map[int32]int
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{byNode: make(map[int32]int)}
+}
+
+// Observer returns the observer function that records into the trace.
+func (tr *Trace) Observer() Observer {
+	return func(e Event) {
+		tr.events = append(tr.events, e)
+		if _, dup := tr.byNode[e.Node]; !dup {
+			tr.byNode[e.Node] = len(tr.events)
+		}
+	}
+}
+
+// Events returns the recorded events in activation order. The slice
+// aliases the trace's storage and must not be modified.
+func (tr *Trace) Events() []Event { return tr.events }
+
+// Of returns the activation event of node, if any.
+func (tr *Trace) Of(node int32) (Event, bool) {
+	idx := tr.byNode[node]
+	if idx == 0 {
+		return Event{}, false
+	}
+	return tr.events[idx-1], true
+}
+
+// PathTo reconstructs the activation chain from a seed to node: the
+// returned slice starts at a seed and ends at node. It returns nil when the
+// node was never activated.
+func (tr *Trace) PathTo(node int32) []int32 {
+	var rev []int32
+	cur := node
+	for {
+		e, ok := tr.Of(cur)
+		if !ok {
+			return nil
+		}
+		rev = append(rev, cur)
+		if e.Source < 0 {
+			break
+		}
+		cur = e.Source
+	}
+	// Reverse into seed-to-node order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// WriteTimeline writes the trace as a human-readable hop-by-hop log.
+func (tr *Trace) WriteTimeline(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastHop := -1
+	for _, e := range tr.events {
+		if e.Hop != lastHop {
+			if _, err := fmt.Fprintf(bw, "hop %d:\n", e.Hop); err != nil {
+				return err
+			}
+			lastHop = e.Hop
+		}
+		src := "seed"
+		if e.Source >= 0 {
+			src = fmt.Sprintf("from %d", e.Source)
+		}
+		if _, err := fmt.Fprintf(bw, "  %d %s (%s)\n", e.Node, e.Status, src); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// emit forwards an event to the observer when one is installed.
+func (o Options) emit(hop int, node int32, status Status, source int32) {
+	if o.Observer != nil {
+		o.Observer(Event{Hop: hop, Node: node, Status: status, Source: source})
+	}
+}
+
+// emitSeeds reports the initial seed statuses as hop-0 events.
+func (o Options) emitSeeds(status []Status) {
+	if o.Observer == nil {
+		return
+	}
+	for v, st := range status {
+		if st != Inactive {
+			o.Observer(Event{Hop: 0, Node: int32(v), Status: st, Source: -1})
+		}
+	}
+}

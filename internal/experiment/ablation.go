@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"lcrb/internal/community"
+	"lcrb/internal/core"
+	"lcrb/internal/diffusion"
+	"lcrb/internal/rng"
+)
+
+// AlphaRow is one step of the LCRB-P protection-level sweep.
+type AlphaRow struct {
+	// Alpha is the required protection level.
+	Alpha float64
+	// Protectors is the greedy seed-set size.
+	Protectors int
+	// ProtectedEnds is the achieved σ̂(S_P).
+	ProtectedEnds float64
+	// Target is ceil(alpha * |B|).
+	Target int
+	// Achieved reports whether σ̂ reached the target.
+	Achieved bool
+	// Evaluations is the greedy's σ̂ evaluation count.
+	Evaluations int
+	// MeanInfected is the realized OPOAO infection count with the seeds.
+	MeanInfected float64
+}
+
+// AlphaSweep is an extension experiment beyond the paper's figures: how
+// the LCRB-P seed-set size and the realized damage scale with the required
+// protection level α.
+type AlphaSweep struct {
+	Config   Config
+	NumEnds  int
+	NumRumor int
+	Rows     []AlphaRow
+}
+
+// RunAlphaSweep solves LCRB-P on the instance for each protection level
+// and measures the realized infections of each solution.
+func RunAlphaSweep(inst *Instance, alphas []float64) (*AlphaSweep, error) {
+	cfg := inst.Config
+	src := rng.New(cfg.Seed + 9)
+	rumors := inst.drawRumors(cfg.RumorFractions[0], src)
+	prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: alpha sweep: %w", err)
+	}
+	out := &AlphaSweep{Config: cfg, NumEnds: prob.NumEnds(), NumRumor: len(rumors)}
+	if prob.NumEnds() == 0 {
+		return nil, fmt.Errorf("experiment: alpha sweep: no bridge ends")
+	}
+	for _, alpha := range alphas {
+		res, err := core.Greedy(prob, core.GreedyOptions{
+			Alpha:   alpha,
+			Samples: cfg.GreedySamples,
+			Seed:    cfg.Seed + 10,
+			MaxHops: cfg.Hops,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: alpha sweep: alpha %v: %w", alpha, err)
+		}
+		agg, err := diffusion.MonteCarlo{
+			Model:   diffusion.OPOAO{},
+			Samples: cfg.MCSamples,
+			Seed:    cfg.Seed + 11,
+		}.Run(inst.Net.Graph, rumors, res.Protectors, diffusion.Options{MaxHops: cfg.Hops})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: alpha sweep: simulate: %w", err)
+		}
+		out.Rows = append(out.Rows, AlphaRow{
+			Alpha:         alpha,
+			Protectors:    len(res.Protectors),
+			ProtectedEnds: res.ProtectedEnds,
+			Target:        prob.RequiredEnds(alpha),
+			Achieved:      res.Achieved,
+			Evaluations:   res.Evaluations,
+			MeanInfected:  agg.MeanInfected,
+		})
+	}
+	return out, nil
+}
+
+// WriteAlphaSweep renders the sweep as an aligned table.
+func WriteAlphaSweep(w io.Writer, s *AlphaSweep) error {
+	if _, err := fmt.Fprintf(w, "# %s — LCRB-P protection-level sweep (|R| = %d, |B| = %d)\n",
+		s.Config.Name, s.NumRumor, s.NumEnds); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "alpha\tseeds\tsigma\ttarget\tachieved\tevals\tmean infected\t")
+	for _, row := range s.Rows {
+		fmt.Fprintf(tw, "%.2f\t%d\t%.1f\t%d\t%v\t%d\t%.1f\t\n",
+			row.Alpha, row.Protectors, row.ProtectedEnds, row.Target,
+			row.Achieved, row.Evaluations, row.MeanInfected)
+	}
+	return tw.Flush()
+}
+
+// DetectorAblation compares the Louvain and label-propagation front ends
+// on the same generated network: how different the partitions are and what
+// that does to the bridge-end stage and the SCBG solution.
+type DetectorAblation struct {
+	Config Config
+	// NMI is the normalized mutual information between the two partitions.
+	NMI float64
+	// Rows holds one entry per detector.
+	Rows []DetectorRow
+}
+
+// DetectorRow summarizes one detector's downstream effect.
+type DetectorRow struct {
+	Detector    string
+	Communities int32
+	Modularity  float64
+	CommSize    int
+	NumEnds     int
+	SCBGSeeds   int
+}
+
+// RunDetectorAblation runs the bridge-end + SCBG pipeline behind both
+// community detectors on the same network.
+func RunDetectorAblation(cfg Config) (*DetectorAblation, error) {
+	cfg = cfg.withDefaults()
+	louvainCfg := cfg
+	louvainCfg.UseLabelProp = false
+	lpCfg := cfg
+	lpCfg.UseLabelProp = true
+
+	louvain, err := Setup(louvainCfg)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := Setup(lpCfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &DetectorAblation{
+		Config: cfg,
+		NMI:    community.NMI(louvain.Part, lp.Part),
+	}
+	for _, inst := range []*Instance{louvain, lp} {
+		name := "louvain"
+		if inst.Config.UseLabelProp {
+			name = "labelprop"
+		}
+		src := rng.New(cfg.Seed + 12)
+		rumors := inst.drawRumors(cfg.RumorFractions[0], src)
+		prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: detector ablation (%s): %w", name, err)
+		}
+		row := DetectorRow{
+			Detector:    name,
+			Communities: inst.Part.Count(),
+			Modularity:  community.Modularity(inst.Net.Graph, inst.Part),
+			CommSize:    len(inst.Members),
+			NumEnds:     prob.NumEnds(),
+		}
+		if prob.NumEnds() > 0 {
+			if sres, err := core.SCBG(prob, core.SCBGOptions{}); sres != nil {
+				row.SCBGSeeds = len(sres.Protectors)
+			} else if err != nil {
+				return nil, fmt.Errorf("experiment: detector ablation (%s): %w", name, err)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// WriteDetectorAblation renders the comparison.
+func WriteDetectorAblation(w io.Writer, a *DetectorAblation) error {
+	if _, err := fmt.Fprintf(w, "# %s — community-detector ablation (partition NMI %.3f)\n",
+		a.Config.Name, a.NMI); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "detector\tcommunities\tmodularity\t|C|\t|B|\tSCBG seeds\t")
+	for _, row := range a.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%d\t%d\t%d\t\n",
+			row.Detector, row.Communities, row.Modularity,
+			row.CommSize, row.NumEnds, row.SCBGSeeds)
+	}
+	return tw.Flush()
+}

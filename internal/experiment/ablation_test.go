@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAlphaSweep(t *testing.T) {
+	inst, err := Setup(smallOPOAOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := RunAlphaSweep(inst, []float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(sweep.Rows))
+	}
+	// Higher alpha can never need fewer seeds under the same randomness.
+	if sweep.Rows[1].Protectors < sweep.Rows[0].Protectors {
+		t.Fatalf("alpha 0.9 used %d seeds, alpha 0.5 used %d",
+			sweep.Rows[1].Protectors, sweep.Rows[0].Protectors)
+	}
+	for _, row := range sweep.Rows {
+		if row.Target > sweep.NumEnds {
+			t.Fatalf("target %d exceeds |B| = %d", row.Target, sweep.NumEnds)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAlphaSweep(&buf, sweep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"protection-level sweep", "alpha", "0.50", "0.90"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunAlphaSweepGreedyMonotoneDamage(t *testing.T) {
+	inst, err := Setup(smallOPOAOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := RunAlphaSweep(inst, []float64{0.3, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More protection should not *increase* realized infections by much
+	// (small Monte-Carlo slack allowed).
+	lo, hi := sweep.Rows[0], sweep.Rows[1]
+	if hi.Protectors > lo.Protectors && hi.MeanInfected > lo.MeanInfected*1.1 {
+		t.Fatalf("alpha 0.95 (%d seeds) infected %.1f vs alpha 0.3 (%d seeds) %.1f",
+			hi.Protectors, hi.MeanInfected, lo.Protectors, lo.MeanInfected)
+	}
+}
+
+func TestRunDetectorAblation(t *testing.T) {
+	abl, err := RunDetectorAblation(smallDOAMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(abl.Rows))
+	}
+	if abl.NMI < 0 || abl.NMI > 1 {
+		t.Fatalf("NMI = %v", abl.NMI)
+	}
+	names := map[string]bool{}
+	for _, row := range abl.Rows {
+		names[row.Detector] = true
+		if row.Communities < 1 {
+			t.Fatalf("%s found %d communities", row.Detector, row.Communities)
+		}
+		if row.CommSize < 1 {
+			t.Fatalf("%s picked an empty community", row.Detector)
+		}
+	}
+	if !names["louvain"] || !names["labelprop"] {
+		t.Fatalf("detectors = %v", names)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDetectorAblation(&buf, abl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"detector ablation", "louvain", "labelprop", "modularity"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

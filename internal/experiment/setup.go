@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"fmt"
+
+	"lcrb/internal/community"
+	"lcrb/internal/gen"
+	"lcrb/internal/rng"
+)
+
+// Instance is a materialized experiment environment: the generated network,
+// its detected community structure and the selected rumor community.
+type Instance struct {
+	// Config echoes the (defaulted) configuration.
+	Config Config
+	// Net is the generated network with its planted communities.
+	Net *gen.Network
+	// Part is the detected partition (Louvain unless UseLabelProp).
+	Part *community.Partition
+	// Community is the selected rumor community identifier in Part.
+	Community int32
+	// Members lists the rumor community's nodes.
+	Members []int32
+}
+
+// Setup generates the network, detects communities and picks the rumor
+// community whose size is closest to the (scaled) paper target.
+func Setup(cfg Config) (*Instance, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	profile, err := cfg.profile()
+	if err != nil {
+		return nil, err
+	}
+	net, err := gen.Community(profile)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generate %s network: %w", cfg.Dataset, err)
+	}
+	var part *community.Partition
+	if cfg.UseLabelProp {
+		part = community.LabelProp(net.Graph, community.LabelPropOptions{Seed: cfg.Seed + 1})
+	} else {
+		part = community.Louvain(net.Graph, community.LouvainOptions{Seed: cfg.Seed + 1})
+	}
+	comm := part.ClosestBySize(cfg.scaledCommunityTarget())
+	inst := &Instance{
+		Config:    cfg,
+		Net:       net,
+		Part:      part,
+		Community: comm,
+		Members:   part.Members(comm),
+	}
+	if len(inst.Members) == 0 {
+		return nil, fmt.Errorf("experiment: selected community %d is empty", comm)
+	}
+	return inst, nil
+}
+
+// drawRumors samples max(1, fraction*|C|) distinct rumor seeds from the
+// community members.
+func (inst *Instance) drawRumors(fraction float64, src *rng.Source) []int32 {
+	k := int32(fraction * float64(len(inst.Members)))
+	if k < 1 {
+		k = 1
+	}
+	if int(k) > len(inst.Members) {
+		k = int32(len(inst.Members))
+	}
+	idx := src.SampleInt32(int32(len(inst.Members)), k)
+	rumors := make([]int32, len(idx))
+	for i, j := range idx {
+		rumors[i] = inst.Members[j]
+	}
+	return rumors
+}

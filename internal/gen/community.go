@@ -1,0 +1,280 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"lcrb/internal/graph"
+	"lcrb/internal/rng"
+)
+
+// CommunityConfig parametrizes the community-structured social-network
+// generator. Zero-valued optional fields receive defaults in Community.
+type CommunityConfig struct {
+	// Nodes is the number of nodes. Required.
+	Nodes int32
+	// AvgDegree is the target number of directed edges per node
+	// (the paper's density measure). Required.
+	AvgDegree float64
+	// IntraFraction is the fraction of edges placed inside communities.
+	// Defaults to 0.9, giving the dense-inside/sparse-across structure the
+	// paper's method depends on.
+	IntraFraction float64
+	// SizeExponent is the power-law exponent for community sizes (larger
+	// means more equal sizes). Defaults to 1.8, yielding the heavy-tailed
+	// community-size distributions Louvain finds on real networks.
+	SizeExponent float64
+	// MinCommunitySize and MaxCommunitySize bound the planted community
+	// sizes. Defaults: 16 and Nodes/8 (at least MinCommunitySize).
+	MinCommunitySize int32
+	MaxCommunitySize int32
+	// Symmetric makes every edge reciprocal, as in collaboration networks
+	// ("each undirected edge (i,j) becomes (i,j) and (j,i)").
+	Symmetric bool
+	// Seed drives all randomness; the same config always yields the same
+	// network.
+	Seed uint64
+}
+
+// Network is a generated graph together with its planted community
+// structure.
+type Network struct {
+	Graph *graph.Graph
+	// Communities assigns each node its planted community identifier,
+	// dense in [0, NumCommunities).
+	Communities []int32
+	// NumCommunities is the number of planted communities.
+	NumCommunities int32
+}
+
+// withDefaults fills in defaulted fields and validates the config.
+func (cfg CommunityConfig) withDefaults() (CommunityConfig, error) {
+	if cfg.Nodes <= 0 {
+		return cfg, fmt.Errorf("gen: community: Nodes = %d must be positive", cfg.Nodes)
+	}
+	if cfg.AvgDegree <= 0 {
+		return cfg, fmt.Errorf("gen: community: AvgDegree = %v must be positive", cfg.AvgDegree)
+	}
+	if cfg.IntraFraction == 0 {
+		cfg.IntraFraction = 0.9
+	}
+	if cfg.IntraFraction < 0 || cfg.IntraFraction > 1 {
+		return cfg, fmt.Errorf("gen: community: IntraFraction = %v out of [0,1]", cfg.IntraFraction)
+	}
+	if cfg.SizeExponent == 0 {
+		cfg.SizeExponent = 1.8
+	}
+	if cfg.SizeExponent < 1 {
+		return cfg, fmt.Errorf("gen: community: SizeExponent = %v must be >= 1", cfg.SizeExponent)
+	}
+	if cfg.MinCommunitySize == 0 {
+		cfg.MinCommunitySize = 16
+	}
+	if cfg.MinCommunitySize < 1 {
+		return cfg, fmt.Errorf("gen: community: MinCommunitySize = %d must be positive", cfg.MinCommunitySize)
+	}
+	if cfg.MinCommunitySize > cfg.Nodes {
+		cfg.MinCommunitySize = cfg.Nodes
+	}
+	if cfg.MaxCommunitySize == 0 {
+		cfg.MaxCommunitySize = cfg.Nodes / 8
+	}
+	if cfg.MaxCommunitySize < cfg.MinCommunitySize {
+		cfg.MaxCommunitySize = cfg.MinCommunitySize
+	}
+	return cfg, nil
+}
+
+// Community generates a directed social network with planted community
+// structure, heavy-tailed degrees (via preferential attachment inside each
+// community) and sparse cross-community edges.
+func Community(cfg CommunityConfig) (*Network, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+
+	sizes := communitySizes(src, cfg)
+	assign := make([]int32, cfg.Nodes)
+	members := make([][]int32, len(sizes))
+	next := int32(0)
+	for c, size := range sizes {
+		members[c] = make([]int32, 0, size)
+		for i := int32(0); i < size; i++ {
+			assign[next] = int32(c)
+			members[c] = append(members[c], next)
+			next++
+		}
+	}
+
+	target := int(float64(cfg.Nodes) * cfg.AvgDegree)
+	if cfg.Symmetric {
+		target /= 2
+	}
+
+	b := graph.NewBuilder(cfg.Nodes)
+	// Heavy-tailed degrees come from a static fitness model: each node
+	// draws a Pareto-distributed attractiveness weight and edge targets are
+	// sampled proportionally to it. Unlike a live preferential-attachment
+	// pool, static fitness stays heavy-tailed even after duplicate edges
+	// are collapsed.
+	fitness := make([]float64, cfg.Nodes)
+	for u := range fitness {
+		fitness[u] = paretoWeight(src, 1.3, 60)
+	}
+	comCum := make([][]float64, len(sizes))
+	for c, m := range members {
+		cumW := make([]float64, len(m)+1)
+		for i, u := range m {
+			cumW[i+1] = cumW[i] + fitness[u]
+		}
+		comCum[c] = cumW
+	}
+	allCum := make([]float64, cfg.Nodes+1)
+	for u := int32(0); u < cfg.Nodes; u++ {
+		allCum[u+1] = allCum[u] + fitness[u]
+	}
+	// cumulative sizes for size-proportional community selection.
+	cum := make([]int64, len(sizes)+1)
+	for c, size := range sizes {
+		cum[c+1] = cum[c] + int64(size)
+	}
+
+	addEdge := func(u, v int32) {
+		b.AddEdge(u, v)
+		if cfg.Symmetric {
+			b.AddEdge(v, u)
+		}
+	}
+
+	// Allow a bounded number of retries for rejected samples (self-loops,
+	// single-node communities, same-community cross edges).
+	attempts := 0
+	maxAttempts := target * 20
+	for placed := 0; placed < target && attempts < maxAttempts; attempts++ {
+		if src.Bool(cfg.IntraFraction) {
+			// Intra-community edge: community chosen size-proportionally,
+			// source uniform in the community, target sampled by fitness
+			// within the community.
+			c := communityAt(cum, src.Int32n(cfg.Nodes))
+			m := members[c]
+			if len(m) < 2 {
+				continue
+			}
+			u := m[src.Intn(len(m))]
+			v := m[weightedIndex(comCum[c], src.Float64())]
+			if u == v {
+				continue
+			}
+			addEdge(u, v)
+			placed++
+			continue
+		}
+		// Cross-community edge: uniform source, globally fitness-weighted
+		// target in a different community.
+		u := src.Int32n(cfg.Nodes)
+		v := int32(weightedIndex(allCum, src.Float64()))
+		if u == v || assign[u] == assign[v] {
+			continue
+		}
+		addEdge(u, v)
+		placed++
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Graph: g, Communities: assign, NumCommunities: int32(len(sizes))}, nil
+}
+
+// communitySizes draws community sizes from a truncated power law until they
+// cover all nodes; the last community absorbs the remainder (merged into the
+// previous one if it would fall below the minimum size).
+func communitySizes(src *rng.Source, cfg CommunityConfig) []int32 {
+	var sizes []int32
+	remaining := cfg.Nodes
+	for remaining > 0 {
+		s := powerLawInt(src, cfg.MinCommunitySize, cfg.MaxCommunitySize, cfg.SizeExponent)
+		if s > remaining {
+			s = remaining
+		}
+		if remaining-s < cfg.MinCommunitySize && remaining-s > 0 {
+			s = remaining
+		}
+		if s < cfg.MinCommunitySize && len(sizes) > 0 {
+			sizes[len(sizes)-1] += s
+		} else {
+			sizes = append(sizes, s)
+		}
+		remaining -= s
+	}
+	return sizes
+}
+
+// powerLawInt draws an integer in [min, max] with density proportional to
+// x^(-exp) via inverse-transform sampling.
+func powerLawInt(src *rng.Source, minV, maxV int32, exp float64) int32 {
+	if minV >= maxV {
+		return minV
+	}
+	lo, hi := float64(minV), float64(maxV)+1
+	u := src.Float64()
+	var x float64
+	if math.Abs(exp-1) < 1e-9 {
+		x = lo * math.Pow(hi/lo, u)
+	} else {
+		a := 1 - exp
+		x = math.Pow(u*(math.Pow(hi, a)-math.Pow(lo, a))+math.Pow(lo, a), 1/a)
+	}
+	v := int32(x)
+	if v < minV {
+		v = minV
+	}
+	if v > maxV {
+		v = maxV
+	}
+	return v
+}
+
+// paretoWeight draws a Pareto(alpha)-distributed weight with minimum 1,
+// capped at maxW so a single node cannot absorb an entire community.
+func paretoWeight(src *rng.Source, alpha, maxW float64) float64 {
+	w := math.Pow(1-src.Float64(), -1/alpha)
+	if w > maxW {
+		w = maxW
+	}
+	return w
+}
+
+// weightedIndex returns the index i such that a draw u*total falls inside
+// cumulative weight bucket i. cum has length len(items)+1 with cum[0] = 0.
+func weightedIndex(cum []float64, u float64) int {
+	x := u * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if cum[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// communityAt maps a node-index draw to the community covering it, i.e.
+// picks a community with probability proportional to its size.
+func communityAt(cum []int64, idx int32) int32 {
+	lo, hi := 0, len(cum)-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if cum[mid] <= int64(idx) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}

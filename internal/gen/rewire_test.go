@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"testing"
+
+	"lcrb/internal/community"
+	"lcrb/internal/graph"
+)
+
+func TestRewirePreservesDegrees(t *testing.T) {
+	net, err := Community(CommunityConfig{Nodes: 500, AvgDegree: 8, Seed: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	r, err := Rewire(g, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumNodes() != g.NumNodes() || r.NumEdges() != g.NumEdges() {
+		t.Fatalf("counts changed: %v -> %v", g, r)
+	}
+	for u := int32(0); u < g.NumNodes(); u++ {
+		if r.OutDegree(u) != g.OutDegree(u) {
+			t.Fatalf("node %d out-degree changed: %d -> %d", u, g.OutDegree(u), r.OutDegree(u))
+		}
+		if r.InDegree(u) != g.InDegree(u) {
+			t.Fatalf("node %d in-degree changed: %d -> %d", u, g.InDegree(u), r.InDegree(u))
+		}
+	}
+}
+
+func TestRewireKeepsGraphSimple(t *testing.T) {
+	net, err := Community(CommunityConfig{Nodes: 300, AvgDegree: 6, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Rewire(net.Graph, 1500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[graph.Edge]bool)
+	for _, e := range r.Edges() {
+		if e.U == e.V {
+			t.Fatalf("self loop at %d", e.U)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestRewireDestroysCommunityStructure(t *testing.T) {
+	net, err := Community(CommunityConfig{Nodes: 800, AvgDegree: 8, Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted, err := community.FromAssignment(net.Communities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := community.IntraEdgeFraction(net.Graph, planted)
+	rewired, err := RewireAll(net.Graph, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := community.IntraEdgeFraction(rewired, planted)
+	if before < 0.7 {
+		t.Fatalf("planted intra fraction only %.2f; fixture broken", before)
+	}
+	if after > before/2 {
+		t.Fatalf("rewire kept intra fraction at %.2f (was %.2f)", after, before)
+	}
+}
+
+func TestRewireDeterministic(t *testing.T) {
+	net, err := Community(CommunityConfig{Nodes: 200, AvgDegree: 6, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Rewire(net.Graph, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rewire(net.Graph, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same seed produced different rewirings")
+		}
+	}
+}
+
+func TestRewireDegenerate(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Rewire(g, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != 1 {
+		t.Fatalf("edges = %d", r.NumEdges())
+	}
+	if _, err := Rewire(g, -1, 1); err == nil {
+		t.Fatal("negative swaps accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Package graph provides the directed-graph substrate used by the rumor
+// blocking library: a compact CSR (compressed sparse row) representation
+// with both out- and in-adjacency, an incremental Builder, BFS primitives,
+// edge-list I/O, and structural statistics.
+//
+// Nodes are dense int32 identifiers in [0, N). Graphs are immutable once
+// built, which makes them safe for concurrent readers (every simulator and
+// solver in this module shares one *Graph across goroutines).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Node identifiers are dense: a graph with N nodes
+// uses exactly the identifiers 0..N-1.
+type NodeID = int32
+
+// Graph is an immutable directed graph in CSR form. Both adjacency
+// directions are stored: Out(u) lists activation targets of u, In(v) lists
+// potential influencers of v (needed by backward search trees).
+type Graph struct {
+	numNodes int32
+	numEdges int64
+
+	outOff []int64 // len numNodes+1
+	outAdj []int32 // len numEdges, sorted within each node's range
+	inOff  []int64
+	inAdj  []int32
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int32 { return g.numNodes }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int64 { return g.numEdges }
+
+// Out returns the out-neighbours of u in ascending order. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Out(u NodeID) []int32 {
+	return g.outAdj[g.outOff[u]:g.outOff[u+1]]
+}
+
+// In returns the in-neighbours of v in ascending order. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) In(v NodeID) []int32 {
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// OutDegree returns the number of out-neighbours of u.
+func (g *Graph) OutDegree(u NodeID) int32 {
+	return int32(g.outOff[u+1] - g.outOff[u])
+}
+
+// InDegree returns the number of in-neighbours of v.
+func (g *Graph) InDegree(v NodeID) int32 {
+	return int32(g.inOff[v+1] - g.inOff[v])
+}
+
+// HasEdge reports whether the directed edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	adj := g.Out(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	return &Graph{
+		numNodes: g.numNodes,
+		numEdges: g.numEdges,
+		outOff:   g.inOff,
+		outAdj:   g.inAdj,
+		inOff:    g.outOff,
+		inAdj:    g.outAdj,
+	}
+}
+
+// Edge is a directed edge from U to V.
+type Edge struct {
+	U, V NodeID
+}
+
+// Edges returns all edges in (U, V) ascending order. The slice is freshly
+// allocated and owned by the caller.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.numEdges)
+	for u := int32(0); u < g.numNodes; u++ {
+		for _, v := range g.Out(u) {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	return edges
+}
+
+// Symmetrize returns a graph that contains both (u,v) and (v,u) for every
+// edge of g, with duplicates removed. The paper applies this to undirected
+// collaboration networks ("we represent each undirected edge (i,j) by two
+// directed edges (i,j) and (j,i)").
+func (g *Graph) Symmetrize() *Graph {
+	b := NewBuilder(g.numNodes)
+	for u := int32(0); u < g.numNodes; u++ {
+		for _, v := range g.Out(u) {
+			b.AddEdge(u, v)
+			b.AddEdge(v, u)
+		}
+	}
+	sym, err := b.Build()
+	if err != nil {
+		// Unreachable: all endpoints come from a valid graph.
+		panic(fmt.Sprintf("graph: symmetrize: %v", err))
+	}
+	return sym
+}
+
+// Subgraph is an induced subgraph together with the node-identifier mapping
+// back to the parent graph.
+type Subgraph struct {
+	// Graph is the induced subgraph over dense local identifiers.
+	Graph *Graph
+	// ToParent maps local node identifiers to parent identifiers.
+	ToParent []int32
+	// ToLocal maps parent identifiers to local identifiers; nodes outside
+	// the subgraph map to -1.
+	ToLocal []int32
+}
+
+// Induce returns the subgraph induced by nodes (duplicates ignored).
+func (g *Graph) Induce(nodes []int32) (*Subgraph, error) {
+	toLocal := make([]int32, g.numNodes)
+	for i := range toLocal {
+		toLocal[i] = -1
+	}
+	var toParent []int32
+	for _, u := range nodes {
+		if u < 0 || u >= g.numNodes {
+			return nil, fmt.Errorf("graph: induce: node %d out of range [0,%d)", u, g.numNodes)
+		}
+		if toLocal[u] < 0 {
+			toLocal[u] = int32(len(toParent))
+			toParent = append(toParent, u)
+		}
+	}
+	b := NewBuilder(int32(len(toParent)))
+	for local, parent := range toParent {
+		for _, v := range g.Out(parent) {
+			if lv := toLocal[v]; lv >= 0 {
+				b.AddEdge(int32(local), lv)
+			}
+		}
+	}
+	sg, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Subgraph{Graph: sg, ToParent: toParent, ToLocal: toLocal}, nil
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// are collapsed. Self-loops are rejected by default because no diffusion
+// model in this module can use them; call AllowSelfLoops to keep them.
+type Builder struct {
+	numNodes       int32
+	edges          []Edge
+	allowSelfLoops bool
+}
+
+// NewBuilder returns a Builder for a graph with numNodes nodes.
+func NewBuilder(numNodes int32) *Builder {
+	if numNodes < 0 {
+		numNodes = 0
+	}
+	return &Builder{numNodes: numNodes}
+}
+
+// AllowSelfLoops makes Build keep self-loop edges instead of dropping them.
+func (b *Builder) AllowSelfLoops() *Builder {
+	b.allowSelfLoops = true
+	return b
+}
+
+// Grow ensures the node-identifier space covers at least numNodes nodes.
+func (b *Builder) Grow(numNodes int32) {
+	if numNodes > b.numNodes {
+		b.numNodes = numNodes
+	}
+}
+
+// AddEdge records the directed edge (u, v). Endpoints extend the node space
+// if needed, so callers may build graphs without knowing N up front.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u < 0 || v < 0 {
+		return // negative identifiers are silently ignored; Build reports counts
+	}
+	if u >= b.numNodes {
+		b.numNodes = u + 1
+	}
+	if v >= b.numNodes {
+		b.numNodes = v + 1
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v})
+}
+
+// NumPendingEdges returns the number of edges recorded so far, before
+// deduplication.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build produces the immutable graph. The Builder may be reused afterwards;
+// its recorded edges are retained.
+func (b *Builder) Build() (*Graph, error) {
+	if b.numNodes == 0 && len(b.edges) > 0 {
+		return nil, errors.New("graph: edges recorded but node space is empty")
+	}
+	edges := make([]Edge, 0, len(b.edges))
+	for _, e := range b.edges {
+		if e.U == e.V && !b.allowSelfLoops {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	// Deduplicate in place.
+	dedup := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	edges = dedup
+
+	g := &Graph{
+		numNodes: b.numNodes,
+		numEdges: int64(len(edges)),
+		outOff:   make([]int64, b.numNodes+1),
+		outAdj:   make([]int32, len(edges)),
+		inOff:    make([]int64, b.numNodes+1),
+		inAdj:    make([]int32, len(edges)),
+	}
+
+	// Counting pass for both directions.
+	for _, e := range edges {
+		g.outOff[e.U+1]++
+		g.inOff[e.V+1]++
+	}
+	for i := int32(0); i < b.numNodes; i++ {
+		g.outOff[i+1] += g.outOff[i]
+		g.inOff[i+1] += g.inOff[i]
+	}
+	// Fill pass. Out-adjacency is already sorted by (U, V); in-adjacency
+	// receives sources in ascending order because edges are sorted by U.
+	cursor := make([]int64, b.numNodes)
+	for i, e := range edges {
+		g.outAdj[i] = e.V
+		g.inAdj[g.inOff[e.V]+cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	return g, nil
+}
+
+// FromEdges builds a graph with numNodes nodes from an edge list,
+// dropping self-loops and duplicates.
+func FromEdges(numNodes int32, edges []Edge) (*Graph, error) {
+	b := NewBuilder(numNodes)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}

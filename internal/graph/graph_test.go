@@ -1,0 +1,360 @@
+package graph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lcrb/internal/rng"
+)
+
+// buildMust builds a graph from edges and fails the test on error.
+func buildMust(t *testing.T, n int32, edges []Edge) *Graph {
+	t.Helper()
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+// randomGraph generates a random simple digraph for property tests.
+func randomGraph(src *rng.Source, maxN int32) *Graph {
+	n := src.Int32n(maxN) + 1
+	m := src.Intn(int(n)*3 + 1)
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(src.Int32n(n), src.Int32n(n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := buildMust(t, 0, nil)
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	g := buildMust(t, 5, nil)
+	if g.NumNodes() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("got %d nodes, %d edges; want 5, 0", g.NumNodes(), g.NumEdges())
+	}
+	for u := int32(0); u < 5; u++ {
+		if len(g.Out(u)) != 0 || len(g.In(u)) != 0 {
+			t.Fatalf("node %d has unexpected adjacency", u)
+		}
+	}
+}
+
+func TestBasicAdjacency(t *testing.T) {
+	g := buildMust(t, 4, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}})
+	tests := []struct {
+		node    int32
+		wantOut []int32
+		wantIn  []int32
+	}{
+		{0, []int32{1, 2}, []int32{3}},
+		{1, []int32{2}, []int32{0}},
+		{2, []int32{3}, []int32{0, 1}},
+		{3, []int32{0}, []int32{2}},
+	}
+	for _, tt := range tests {
+		if got := g.Out(tt.node); !reflect.DeepEqual(got, tt.wantOut) {
+			t.Errorf("Out(%d) = %v, want %v", tt.node, got, tt.wantOut)
+		}
+		if got := g.In(tt.node); !reflect.DeepEqual(got, tt.wantIn) {
+			t.Errorf("In(%d) = %v, want %v", tt.node, got, tt.wantIn)
+		}
+	}
+}
+
+func TestDuplicateEdgesCollapsed(t *testing.T) {
+	g := buildMust(t, 2, []Edge{{0, 1}, {0, 1}, {0, 1}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestSelfLoopsDroppedByDefault(t *testing.T) {
+	g := buildMust(t, 2, []Edge{{0, 0}, {0, 1}, {1, 1}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (self-loops dropped)", g.NumEdges())
+	}
+}
+
+func TestSelfLoopsKeptWhenAllowed(t *testing.T) {
+	b := NewBuilder(2).AllowSelfLoops()
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 0) {
+		t.Fatal("self-loop (0,0) missing")
+	}
+}
+
+func TestBuilderGrowsNodeSpace(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddEdge(5, 9)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", g.NumNodes())
+	}
+}
+
+func TestBuilderGrow(t *testing.T) {
+	b := NewBuilder(3)
+	b.Grow(7)
+	b.Grow(2) // no shrink
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 7 {
+		t.Fatalf("NumNodes = %d, want 7", g.NumNodes())
+	}
+}
+
+func TestBuilderIgnoresNegativeEndpoints(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(-1, 2)
+	b.AddEdge(0, -5)
+	b.AddEdge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := buildMust(t, 4, []Edge{{0, 1}, {0, 3}, {2, 1}})
+	tests := []struct {
+		u, v int32
+		want bool
+	}{
+		{0, 1, true},
+		{0, 3, true},
+		{2, 1, true},
+		{1, 0, false},
+		{0, 2, false},
+		{3, 3, false},
+	}
+	for _, tt := range tests {
+		if got := g.HasEdge(tt.u, tt.v); got != tt.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", tt.u, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := buildMust(t, 3, []Edge{{0, 1}, {1, 2}})
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) {
+		t.Fatal("Reverse missing flipped edges")
+	}
+	if r.HasEdge(0, 1) {
+		t.Fatal("Reverse kept original edge direction")
+	}
+	if r.NumEdges() != g.NumEdges() || r.NumNodes() != g.NumNodes() {
+		t.Fatal("Reverse changed counts")
+	}
+}
+
+func TestReverseTwiceIsIdentity(t *testing.T) {
+	src := rng.New(1001)
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(src, 40)
+		rr := g.Reverse().Reverse()
+		if !reflect.DeepEqual(g.Edges(), rr.Edges()) {
+			t.Fatal("double reverse changed the edge set")
+		}
+	}
+}
+
+func TestDegreeSumsEqualEdges(t *testing.T) {
+	src := rng.New(1002)
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(src, 60)
+		var outSum, inSum int64
+		for u := int32(0); u < g.NumNodes(); u++ {
+			outSum += int64(g.OutDegree(u))
+			inSum += int64(g.InDegree(u))
+		}
+		if outSum != g.NumEdges() || inSum != g.NumEdges() {
+			t.Fatalf("degree sums %d/%d != edges %d", outSum, inSum, g.NumEdges())
+		}
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	src := rng.New(1003)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(src, 50)
+		for u := int32(0); u < g.NumNodes(); u++ {
+			for _, v := range g.Out(u) {
+				found := false
+				for _, w := range g.In(v) {
+					if w == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("edge (%d,%d) present in Out but missing from In", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	src := rng.New(1004)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(src, 50)
+		for u := int32(0); u < g.NumNodes(); u++ {
+			if !sort.SliceIsSorted(g.Out(u), func(i, j int) bool { return g.Out(u)[i] < g.Out(u)[j] }) {
+				t.Fatalf("Out(%d) not sorted: %v", u, g.Out(u))
+			}
+			if !sort.SliceIsSorted(g.In(u), func(i, j int) bool { return g.In(u)[i] < g.In(u)[j] }) {
+				t.Fatalf("In(%d) not sorted: %v", u, g.In(u))
+			}
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := buildMust(t, 3, []Edge{{0, 1}, {1, 2}, {2, 1}})
+	s := g.Symmetrize()
+	want := []Edge{{0, 1}, {1, 0}, {1, 2}, {2, 1}}
+	if !reflect.DeepEqual(s.Edges(), want) {
+		t.Fatalf("Symmetrize edges = %v, want %v", s.Edges(), want)
+	}
+}
+
+func TestSymmetrizeIdempotent(t *testing.T) {
+	src := rng.New(1005)
+	for trial := 0; trial < 30; trial++ {
+		s := randomGraph(src, 40).Symmetrize()
+		ss := s.Symmetrize()
+		if !reflect.DeepEqual(s.Edges(), ss.Edges()) {
+			t.Fatal("Symmetrize is not idempotent")
+		}
+	}
+}
+
+func TestInduce(t *testing.T) {
+	g := buildMust(t, 5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	sub, err := g.Induce([]int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Graph.NumNodes() != 3 {
+		t.Fatalf("subgraph nodes = %d, want 3", sub.Graph.NumNodes())
+	}
+	// Edges inside {1,2,3}: (1,2) and (2,3).
+	if sub.Graph.NumEdges() != 2 {
+		t.Fatalf("subgraph edges = %d, want 2", sub.Graph.NumEdges())
+	}
+	for local, parent := range sub.ToParent {
+		if sub.ToLocal[parent] != int32(local) {
+			t.Fatalf("mapping mismatch for local %d / parent %d", local, parent)
+		}
+	}
+	if sub.ToLocal[0] != -1 || sub.ToLocal[4] != -1 {
+		t.Fatal("excluded nodes should map to -1")
+	}
+}
+
+func TestInduceDuplicatesIgnored(t *testing.T) {
+	g := buildMust(t, 3, []Edge{{0, 1}})
+	sub, err := g.Induce([]int32{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Graph.NumNodes() != 2 || sub.Graph.NumEdges() != 1 {
+		t.Fatalf("got %d nodes %d edges, want 2/1", sub.Graph.NumNodes(), sub.Graph.NumEdges())
+	}
+}
+
+func TestInduceOutOfRange(t *testing.T) {
+	g := buildMust(t, 3, nil)
+	if _, err := g.Induce([]int32{0, 7}); err == nil {
+		t.Fatal("Induce accepted out-of-range node")
+	}
+}
+
+func TestInducePreservesInternalEdges(t *testing.T) {
+	src := rng.New(1006)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(src, 40)
+		n := g.NumNodes()
+		k := src.Int32n(n) + 1
+		nodes := src.SampleInt32(n, k)
+		sub, err := g.Induce(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count parent edges with both endpoints selected.
+		selected := make(map[int32]bool, len(nodes))
+		for _, u := range nodes {
+			selected[u] = true
+		}
+		var want int64
+		for _, e := range g.Edges() {
+			if selected[e.U] && selected[e.V] {
+				want++
+			}
+		}
+		if sub.Graph.NumEdges() != want {
+			t.Fatalf("induced edges = %d, want %d", sub.Graph.NumEdges(), want)
+		}
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	src := rng.New(1007)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(src, 40)
+		g2, err := FromEdges(g.NumNodes(), g.Edges())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+			t.Fatal("Edges/FromEdges round trip changed the graph")
+		}
+	}
+}
+
+func TestQuickBuilderNeverDuplicates(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(rng.New(seed), 50)
+		edges := g.Edges()
+		for i := 1; i < len(edges); i++ {
+			if edges[i] == edges[i-1] {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lcrb/internal/rng"
+)
+
+func TestPageRankEmpty(t *testing.T) {
+	g := buildMust(t, 0, nil)
+	if pr := PageRank(g, PageRankOptions{}); pr != nil {
+		t.Fatalf("PageRank(empty) = %v", pr)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	src := rng.New(5001)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(src, 60)
+		if g.NumNodes() == 0 {
+			continue
+		}
+		pr := PageRank(g, PageRankOptions{})
+		var sum float64
+		for _, v := range pr {
+			if v < 0 {
+				t.Fatal("negative PageRank")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("PageRank sums to %v", sum)
+		}
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle every node has the same rank.
+	b := NewBuilder(5)
+	for i := int32(0); i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := PageRank(g, PageRankOptions{})
+	for _, v := range pr {
+		if math.Abs(v-0.2) > 1e-6 {
+			t.Fatalf("cycle PageRank = %v, want uniform 0.2", pr)
+		}
+	}
+}
+
+func TestPageRankFavoursSink(t *testing.T) {
+	// Star pointing at node 0: node 0 must outrank the spokes.
+	g := buildMust(t, 4, []Edge{{1, 0}, {2, 0}, {3, 0}})
+	pr := PageRank(g, PageRankOptions{})
+	for v := 1; v < 4; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %v not above spoke rank %v", pr[0], pr[v])
+		}
+	}
+}
+
+func TestPageRankDanglingMassConserved(t *testing.T) {
+	// Node 1 is dangling; ranks must still sum to 1.
+	g := buildMust(t, 3, []Edge{{0, 1}, {2, 1}})
+	pr := PageRank(g, PageRankOptions{})
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if pr[1] <= pr[0] {
+		t.Fatalf("sink rank %v not above source rank %v", pr[1], pr[0])
+	}
+}
+
+func TestPageRankOptionDefaults(t *testing.T) {
+	g := buildMust(t, 3, []Edge{{0, 1}, {1, 2}, {2, 0}})
+	// Out-of-range options fall back to defaults rather than diverging.
+	pr := PageRank(g, PageRankOptions{Damping: 7, MaxIterations: -1, Tolerance: -2})
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestTopByPageRank(t *testing.T) {
+	g := buildMust(t, 4, []Edge{{1, 0}, {2, 0}, {3, 0}, {0, 1}})
+	top := TopByPageRank(g, 2, PageRankOptions{})
+	if len(top) != 2 || top[0] != 0 {
+		t.Fatalf("TopByPageRank = %v, want node 0 first", top)
+	}
+	if got := TopByPageRank(g, -1, PageRankOptions{}); len(got) != 0 {
+		t.Fatalf("TopByPageRank(-1) = %v", got)
+	}
+	if got := TopByPageRank(g, 99, PageRankOptions{}); len(got) != 4 {
+		t.Fatalf("TopByPageRank(99) = %v", got)
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// Cycle {0,1,2} plus a tail 2 -> 3 -> 4.
+	g := buildMust(t, 5, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}})
+	comp, count := StronglyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("cycle nodes split: %v", comp)
+	}
+	if comp[3] == comp[0] || comp[4] == comp[3] {
+		t.Fatalf("tail nodes merged: %v", comp)
+	}
+	// Reverse topological numbering: the cycle reaches 3 and 4, so its
+	// component id must be larger.
+	if !(comp[0] > comp[3] && comp[3] > comp[4]) {
+		t.Fatalf("component numbering not reverse-topological: %v", comp)
+	}
+}
+
+func TestSCCSingletons(t *testing.T) {
+	g := buildMust(t, 3, []Edge{{0, 1}, {1, 2}})
+	comp, count := StronglyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (DAG of singletons)", count)
+	}
+	seen := make(map[int32]bool)
+	for _, c := range comp {
+		if seen[c] {
+			t.Fatalf("DAG nodes share a component: %v", comp)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSCCMatchesReachability(t *testing.T) {
+	// Property: u and v share an SCC iff they reach each other.
+	src := rng.New(5002)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(src, 30)
+		comp, _ := StronglyConnectedComponents(g)
+		n := g.NumNodes()
+		for u := int32(0); u < n; u++ {
+			du := Distances(g, []int32{u}, Forward)
+			for v := int32(0); v < n; v++ {
+				dv := Distances(g, []int32{v}, Forward)
+				mutual := du[v] != Unreachable && dv[u] != Unreachable
+				if mutual != (comp[u] == comp[v]) {
+					t.Fatalf("nodes %d,%d: mutual=%v but comp %d vs %d",
+						u, v, mutual, comp[u], comp[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// A 200k-node chain would overflow a recursive Tarjan.
+	const n = 200000
+	b := NewBuilder(n)
+	for i := int32(0); i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, count := StronglyConnectedComponents(g)
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	comp := []int32{0, 1, 1, 1, 2}
+	got := LargestComponent(comp, 3)
+	if !reflect.DeepEqual(got, []int32{1, 2, 3}) {
+		t.Fatalf("LargestComponent = %v", got)
+	}
+	if got := LargestComponent(nil, 0); got != nil {
+		t.Fatalf("empty LargestComponent = %v", got)
+	}
+}

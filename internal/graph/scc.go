@@ -1,0 +1,119 @@
+package graph
+
+import "sort"
+
+// sortByScoreDesc sorts nodes by descending score, ties by ascending id.
+func sortByScoreDesc(nodes []int32, score []float64) {
+	sort.Slice(nodes, func(i, j int) bool {
+		si, sj := score[nodes[i]], score[nodes[j]]
+		if si != sj {
+			return si > sj
+		}
+		return nodes[i] < nodes[j]
+	})
+}
+
+// StronglyConnectedComponents computes the strongly connected components of
+// g with Tarjan's algorithm (iterative, so deep graphs cannot overflow the
+// goroutine stack). Components are numbered in reverse topological order of
+// the condensation: if component a can reach component b, then
+// comp[a] > comp[b].
+func StronglyConnectedComponents(g *Graph) (comp []int32, count int32) {
+	n := int(g.NumNodes())
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var (
+		index   = make([]int32, n)
+		lowlink = make([]int32, n)
+		onStack = make([]bool, n)
+		stack   []int32
+		nextIdx int32 = 1 // 0 means unvisited
+	)
+	// Iterative Tarjan: frame keeps the node and its adjacency cursor.
+	type frame struct {
+		node int32
+		next int
+	}
+	var frames []frame
+	for start := 0; start < n; start++ {
+		if index[start] != 0 {
+			continue
+		}
+		frames = append(frames[:0], frame{node: int32(start)})
+		index[start] = nextIdx
+		lowlink[start] = nextIdx
+		nextIdx++
+		stack = append(stack, int32(start))
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			u := f.node
+			adj := g.Out(u)
+			if f.next < len(adj) {
+				v := adj[f.next]
+				f.next++
+				if index[v] == 0 {
+					index[v] = nextIdx
+					lowlink[v] = nextIdx
+					nextIdx++
+					stack = append(stack, v)
+					onStack[v] = true
+					frames = append(frames, frame{node: v})
+				} else if onStack[v] && index[v] < lowlink[u] {
+					lowlink[u] = index[v]
+				}
+				continue
+			}
+			// u is fully explored.
+			if lowlink[u] == index[u] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == u {
+						break
+					}
+				}
+				count++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if lowlink[u] < lowlink[parent] {
+					lowlink[parent] = lowlink[u]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// LargestComponent returns the members of the largest component under the
+// given assignment (as produced by StronglyConnectedComponents or
+// WeaklyConnectedComponents), sorted ascending.
+func LargestComponent(comp []int32, count int32) []int32 {
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int32, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := int32(0)
+	for c := int32(1); c < count; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]int32, 0, sizes[best])
+	for u, c := range comp {
+		if c == best {
+			out = append(out, int32(u))
+		}
+	}
+	return out
+}

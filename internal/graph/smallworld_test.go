@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClusteringCoefficientTriangle(t *testing.T) {
+	// A directed 3-cycle is a fully connected undirected triangle.
+	g := buildMust(t, 3, []Edge{{0, 1}, {1, 2}, {2, 0}})
+	if got := ClusteringCoefficient(g); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("triangle clustering = %v, want 1", got)
+	}
+}
+
+func TestClusteringCoefficientStar(t *testing.T) {
+	// Star: no links between leaves -> hub coefficient 0, leaves skipped.
+	g := buildMust(t, 4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	if got := ClusteringCoefficient(g); got != 0 {
+		t.Fatalf("star clustering = %v, want 0", got)
+	}
+}
+
+func TestClusteringCoefficientHalf(t *testing.T) {
+	// Path 1 - 0 - 2 plus the edge 1 - 2 closed: triangle again, but add a
+	// fourth pendant node to mix coefficients: node 0 has neighbours
+	// {1,2,3}; links among them: (1,2) only -> 1/3. Nodes 1 and 2 have
+	// neighbours {0,2}/{0,1} fully linked -> 1 each. Node 3 skipped.
+	g := buildMust(t, 4, []Edge{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	want := (1.0/3 + 1 + 1) / 3
+	if got := ClusteringCoefficient(g); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("clustering = %v, want %v", got, want)
+	}
+}
+
+func TestClusteringCoefficientEmpty(t *testing.T) {
+	if got := ClusteringCoefficient(buildMust(t, 3, nil)); got != 0 {
+		t.Fatalf("edgeless clustering = %v", got)
+	}
+	if got := ClusteringCoefficient(buildMust(t, 0, nil)); got != 0 {
+		t.Fatalf("empty clustering = %v", got)
+	}
+}
+
+func TestEstimateDiameterPath(t *testing.T) {
+	g := chain(t, 6) // 0 -> 1 -> ... -> 5
+	diam, mean := EstimateDiameter(g, 0, 1)
+	if diam != 5 {
+		t.Fatalf("diameter = %d, want 5", diam)
+	}
+	// Exact mean over all reachable ordered pairs of a 6-path:
+	// sum_{d=1..5} (6-d)*d = 35 over 15 pairs = 7/3.
+	if math.Abs(mean-35.0/15.0) > 1e-9 {
+		t.Fatalf("mean path = %v, want %v", mean, 35.0/15.0)
+	}
+}
+
+func TestEstimateDiameterSampled(t *testing.T) {
+	g := chain(t, 50)
+	diam, _ := EstimateDiameter(g, 10, 3)
+	if diam < 25 || diam > 49 {
+		t.Fatalf("sampled diameter = %d, want within (25,49]", diam)
+	}
+}
+
+func TestEstimateDiameterEmpty(t *testing.T) {
+	diam, mean := EstimateDiameter(buildMust(t, 0, nil), 5, 1)
+	if diam != 0 || mean != 0 {
+		t.Fatalf("empty graph: %d, %v", diam, mean)
+	}
+}

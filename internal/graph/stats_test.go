@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDegreeStats(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 1 -> 2: out degrees 2,1,0; in degrees 0,1,2.
+	g := buildMust(t, 3, []Edge{{0, 1}, {0, 2}, {1, 2}})
+
+	out := g.OutDegreeStats()
+	if out.Min != 0 || out.Max != 2 || math.Abs(out.Mean-1.0) > 1e-9 || out.Median != 1 {
+		t.Fatalf("OutDegreeStats = %+v", out)
+	}
+	in := g.InDegreeStats()
+	if in.Min != 0 || in.Max != 2 || math.Abs(in.Mean-1.0) > 1e-9 {
+		t.Fatalf("InDegreeStats = %+v", in)
+	}
+	total := g.TotalDegreeStats()
+	if total.Min != 2 || total.Max != 2 || total.Mean != 2 {
+		t.Fatalf("TotalDegreeStats = %+v", total)
+	}
+}
+
+func TestDegreeStatsEmpty(t *testing.T) {
+	g := buildMust(t, 0, nil)
+	if got := g.OutDegreeStats(); got != (DegreeStats{}) {
+		t.Fatalf("empty graph stats = %+v", got)
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	// Out degrees: 3, 1, 0, 0 -> sorted 0,0,1,3 -> median 0.5.
+	g := buildMust(t, 4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	if got := g.OutDegreeStats().Median; got != 0.5 {
+		t.Fatalf("median = %v, want 0.5", got)
+	}
+}
+
+func TestAvgDegreeAndDensity(t *testing.T) {
+	g := buildMust(t, 4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	if got := g.AvgDegree(); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("AvgDegree = %v, want 0.75", got)
+	}
+	if got := g.Density(); math.Abs(got-3.0/12.0) > 1e-9 {
+		t.Fatalf("Density = %v, want 0.25", got)
+	}
+}
+
+func TestDensityDegenerate(t *testing.T) {
+	if got := buildMust(t, 0, nil).Density(); got != 0 {
+		t.Fatalf("Density(empty) = %v", got)
+	}
+	if got := buildMust(t, 1, nil).Density(); got != 0 {
+		t.Fatalf("Density(single) = %v", got)
+	}
+	if got := buildMust(t, 0, nil).AvgDegree(); got != 0 {
+		t.Fatalf("AvgDegree(empty) = %v", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := buildMust(t, 3, []Edge{{0, 1}, {0, 2}, {1, 2}})
+	// Total degrees: node 0: 2, node 1: 2, node 2: 2.
+	got := g.DegreeHistogram()
+	want := map[int32]int32{2: 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DegreeHistogram = %v, want %v", got, want)
+	}
+}
+
+func TestTopByOutDegree(t *testing.T) {
+	g := buildMust(t, 4, []Edge{{0, 1}, {0, 2}, {0, 3}, {2, 0}, {2, 1}, {1, 0}})
+	// Out degrees: 0:3, 1:1, 2:2, 3:0.
+	got := g.TopByOutDegree(3)
+	want := []int32{0, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopByOutDegree = %v, want %v", got, want)
+	}
+}
+
+func TestTopByOutDegreeTieBreak(t *testing.T) {
+	g := buildMust(t, 3, []Edge{{2, 0}, {1, 0}})
+	// Nodes 1 and 2 both have out-degree 1; ascending id breaks the tie.
+	got := g.TopByOutDegree(2)
+	want := []int32{1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopByOutDegree = %v, want %v", got, want)
+	}
+}
+
+func TestTopByOutDegreeClamping(t *testing.T) {
+	g := buildMust(t, 2, []Edge{{0, 1}})
+	if got := g.TopByOutDegree(99); len(got) != 2 {
+		t.Fatalf("TopByOutDegree(99) len = %d", len(got))
+	}
+	if got := g.TopByOutDegree(-1); len(got) != 0 {
+		t.Fatalf("TopByOutDegree(-1) len = %d", len(got))
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := buildMust(t, 2, []Edge{{0, 1}})
+	s := g.String()
+	for _, want := range []string{"nodes: 2", "edges: 1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package heuristic
+
+import (
+	"testing"
+
+	"lcrb/internal/gen"
+	"lcrb/internal/graph"
+)
+
+func TestDegreeDiscountTopIsMaxDegree(t *testing.T) {
+	// The first pick (no discounts yet) must match MaxDegree's.
+	g := starPlusChain(t)
+	ctx := Context{Graph: g, Rumors: []int32{4}}
+	dd, err := DegreeDiscount{}.Rank(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := MaxDegree{}.Rank(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd[0] != md[0] {
+		t.Fatalf("first picks differ: %d vs %d", dd[0], md[0])
+	}
+}
+
+func TestDegreeDiscountSpreadsSelections(t *testing.T) {
+	// Two disjoint stars with hubs 0 (degree 4) and 5 (degree 3), where
+	// 0's leaves also interconnect; after taking hub 0, the discount must
+	// push 0's leaves below the second hub.
+	g := mustGraph(t, 9, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4},
+		{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 1},
+		{U: 5, V: 6}, {U: 5, V: 7}, {U: 5, V: 8},
+	})
+	rank, err := DegreeDiscount{}.Rank(Context{Graph: g}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank[0] != 0 {
+		t.Fatalf("first pick = %d, want hub 0", rank[0])
+	}
+	if rank[1] != 5 {
+		t.Fatalf("second pick = %d, want the other hub 5 (discounted leaves)", rank[1])
+	}
+}
+
+func TestDegreeDiscountCoversAllNonRumors(t *testing.T) {
+	net, err := gen.Community(gen.CommunityConfig{Nodes: 200, AvgDegree: 6, Seed: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rumors := []int32{0, 1, 2}
+	rank, err := DegreeDiscount{}.Rank(Context{Graph: net.Graph, Rumors: rumors}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rank) != int(net.Graph.NumNodes())-len(rumors) {
+		t.Fatalf("rank length = %d, want %d", len(rank), net.Graph.NumNodes()-3)
+	}
+	seen := make(map[int32]bool)
+	for _, u := range rank {
+		if u == 0 || u == 1 || u == 2 {
+			t.Fatal("rumor ranked")
+		}
+		if seen[u] {
+			t.Fatalf("node %d ranked twice", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestDegreeDiscountValidation(t *testing.T) {
+	if _, err := (DegreeDiscount{}).Rank(Context{}, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestDegreeDiscountName(t *testing.T) {
+	if got := (DegreeDiscount{}).Name(); got != "DegreeDiscount" {
+		t.Fatalf("Name = %q", got)
+	}
+}

@@ -1,0 +1,38 @@
+package heuristic
+
+import (
+	"fmt"
+
+	"lcrb/internal/graph"
+	"lcrb/internal/rng"
+)
+
+// PageRank ranks nodes by decreasing PageRank score. It is an extension
+// baseline beyond the paper's MaxDegree/Proximity pair: like MaxDegree it
+// is oblivious to the rumor location, but it weighs global influence
+// structure instead of raw degree.
+type PageRank struct {
+	// Damping is the PageRank damping factor; 0 means the 0.85 default.
+	Damping float64
+}
+
+var _ Selector = PageRank{}
+
+// Name implements Selector.
+func (PageRank) Name() string { return "PageRank" }
+
+// Rank implements Selector.
+func (s PageRank) Rank(ctx Context, _ *rng.Source) ([]int32, error) {
+	if ctx.Graph == nil {
+		return nil, fmt.Errorf("heuristic: PageRank: nil graph")
+	}
+	isRumor := rumorSet(ctx.Rumors)
+	ranked := graph.TopByPageRank(ctx.Graph, int(ctx.Graph.NumNodes()), graph.PageRankOptions{Damping: s.Damping})
+	out := make([]int32, 0, len(ranked))
+	for _, u := range ranked {
+		if !isRumor[u] {
+			out = append(out, u)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package heuristic
+
+import (
+	"testing"
+
+	"lcrb/internal/graph"
+)
+
+func TestPageRankSelectorRanksHubFirst(t *testing.T) {
+	// Everyone points at node 0.
+	g := mustGraph(t, 5, []graph.Edge{
+		{U: 1, V: 0}, {U: 2, V: 0}, {U: 3, V: 0}, {U: 4, V: 0},
+	})
+	rank, err := PageRank{}.Rank(Context{Graph: g, Rumors: []int32{4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank[0] != 0 {
+		t.Fatalf("top = %d, want the sink hub 0", rank[0])
+	}
+	for _, u := range rank {
+		if u == 4 {
+			t.Fatal("rumor seed ranked")
+		}
+	}
+	if len(rank) != 4 {
+		t.Fatalf("rank length = %d, want 4", len(rank))
+	}
+}
+
+func TestPageRankSelectorNilGraph(t *testing.T) {
+	if _, err := (PageRank{}).Rank(Context{}, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestPageRankSelectorName(t *testing.T) {
+	if got := (PageRank{}).Name(); got != "PageRank" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestPageRankSelectorCustomDamping(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	rank, err := PageRank{Damping: 0.5}.Rank(Context{Graph: g}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rank) != 3 {
+		t.Fatalf("rank = %v", rank)
+	}
+}

@@ -1,0 +1,265 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDistinctSeeds(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	// The all-zero xoshiro state is a fixed point; seeding via SplitMix64
+	// must avoid it even for seed 0.
+	var nonzero bool
+	for i := 0; i < 16; i++ {
+		if s.Uint64() != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("seed 0 produced a stuck all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and child streams matched on %d of 100 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	c1 := New(7).Split()
+	c2 := New(7).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	if err := quick.Check(func(raw uint16) bool {
+		n := int(raw%1000) + 1
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt32nRange(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 10000; i++ {
+		v := s.Int32n(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Int32n(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square check at a loose threshold: 10 buckets, 100k draws.
+	const buckets, draws = 10, 100000
+	s := New(99)
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; p=0.001 critical value is 27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("chi-square = %.2f exceeds 27.88; counts = %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if s.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !s.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(8)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate = %v", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(10)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		got += x
+		seen[x] = true
+	}
+	if got != sum || len(seen) != len(xs) {
+		t.Fatalf("Shuffle corrupted slice: %v", xs)
+	}
+}
+
+func TestSampleInt32Distinct(t *testing.T) {
+	s := New(11)
+	if err := quick.Check(func(rawN, rawK uint8) bool {
+		n := int32(rawN%200) + 1
+		k := int32(rawK) % (n + 1)
+		sample := s.SampleInt32(n, k)
+		if int32(len(sample)) != k {
+			return false
+		}
+		seen := make(map[int32]bool, k)
+		for _, v := range sample {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleInt32Full(t *testing.T) {
+	s := New(12)
+	sample := s.SampleInt32(5, 5)
+	seen := make(map[int32]bool)
+	for _, v := range sample {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("SampleInt32(5,5) = %v does not cover [0,5)", sample)
+	}
+}
+
+func TestSampleInt32Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleInt32(2, 3) did not panic")
+		}
+	}()
+	New(1).SampleInt32(2, 3)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = s.Intn(1000)
+	}
+	_ = sink
+}

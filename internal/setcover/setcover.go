@@ -1,0 +1,218 @@
+// Package setcover implements greedy set cover — the engine behind the
+// paper's SCBG algorithm (algorithm 2) — plus a brute-force exact solver
+// used to verify the greedy's H_n approximation ratio on small instances.
+package setcover
+
+import (
+	"fmt"
+	"math"
+)
+
+// Instance is a set-cover instance: a universe of elements 0..Universe-1
+// and a family of subsets given as element indices.
+type Instance struct {
+	// Universe is the number of elements to cover.
+	Universe int
+	// Sets lists the family; Sets[i] holds the elements of set i. Indices
+	// outside [0, Universe) are rejected by the solvers.
+	Sets [][]int32
+	// Costs optionally assigns a positive cost per set; nil means unit
+	// costs (minimize the number of sets).
+	Costs []float64
+}
+
+// validate checks instance consistency.
+func (in Instance) validate() error {
+	if in.Universe < 0 {
+		return fmt.Errorf("setcover: negative universe %d", in.Universe)
+	}
+	if in.Costs != nil && len(in.Costs) != len(in.Sets) {
+		return fmt.Errorf("setcover: %d costs for %d sets", len(in.Costs), len(in.Sets))
+	}
+	for i, set := range in.Sets {
+		for _, e := range set {
+			if e < 0 || int(e) >= in.Universe {
+				return fmt.Errorf("setcover: set %d contains element %d outside universe [0,%d)", i, e, in.Universe)
+			}
+		}
+		if in.Costs != nil && in.Costs[i] <= 0 {
+			return fmt.Errorf("setcover: set %d has non-positive cost %v", i, in.Costs[i])
+		}
+	}
+	return nil
+}
+
+// ErrUncoverable is returned (wrapped) when some element appears in no set.
+var ErrUncoverable = fmt.Errorf("setcover: universe not coverable")
+
+// Solution is the output of a solver.
+type Solution struct {
+	// Chosen holds the indices of the selected sets, in selection order.
+	Chosen []int32
+	// Cost is the total cost (set count under unit costs).
+	Cost float64
+	// Covered is the number of distinct elements covered.
+	Covered int
+}
+
+// Greedy solves the instance with the classical greedy algorithm: keep
+// picking the set with the best (newly covered elements / cost) ratio until
+// everything is covered. Ties break towards the lower set index, so runs
+// are deterministic. Achieves the H_n ≈ ln n approximation guarantee, which
+// is optimal unless P = NP (Feige 1998, the paper's Theorem 2/Corollary 1).
+func Greedy(in Instance) (*Solution, error) {
+	return GreedyPartial(in, in.Universe)
+}
+
+// GreedyPartial is Greedy stopped as soon as at least `need` elements are
+// covered (need is clamped to the universe size). This is the α-fraction
+// variant used for partial protection targets.
+func GreedyPartial(in Instance, need int) (*Solution, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if need > in.Universe {
+		need = in.Universe
+	}
+	if need < 0 {
+		need = 0
+	}
+	covered := make([]bool, in.Universe)
+	sol := &Solution{}
+	cost := func(i int) float64 {
+		if in.Costs == nil {
+			return 1
+		}
+		return in.Costs[i]
+	}
+	// gains caches each set's last-known new-coverage count; it only ever
+	// shrinks, so stale values are upper bounds (lazy re-evaluation).
+	gains := make([]int, len(in.Sets))
+	for i, set := range in.Sets {
+		gains[i] = len(distinct(set))
+	}
+	used := make([]bool, len(in.Sets))
+
+	for sol.Covered < need {
+		best, bestRatio := -1, -math.MaxFloat64
+		for i := range in.Sets {
+			if used[i] || gains[i] == 0 {
+				continue
+			}
+			// Refresh the gain lazily: only when the cached upper bound
+			// could beat the current best.
+			if ratio := float64(gains[i]) / cost(i); ratio <= bestRatio && best >= 0 {
+				continue
+			}
+			gain := 0
+			for _, e := range in.Sets[i] {
+				if !covered[e] {
+					gain++
+				}
+			}
+			gains[i] = gain
+			if gain == 0 {
+				continue
+			}
+			if ratio := float64(gain) / cost(i); ratio > bestRatio {
+				best, bestRatio = i, ratio
+			}
+		}
+		if best < 0 {
+			// Return the partial cover alongside the error so callers can
+			// still use what was achievable.
+			return sol, fmt.Errorf("%w: %d of %d elements required, %d covered",
+				ErrUncoverable, need, in.Universe, sol.Covered)
+		}
+		used[best] = true
+		for _, e := range in.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				sol.Covered++
+			}
+		}
+		sol.Chosen = append(sol.Chosen, int32(best))
+		sol.Cost += cost(best)
+	}
+	return sol, nil
+}
+
+// distinct returns the distinct elements of set.
+func distinct(set []int32) []int32 {
+	seen := make(map[int32]struct{}, len(set))
+	out := set[:0:0]
+	for _, e := range set {
+		if _, dup := seen[e]; !dup {
+			seen[e] = struct{}{}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Exact solves the instance optimally by exhaustive search over set
+// subsets. Exponential in len(Sets); intended for tests with at most ~20
+// sets (it returns an error beyond that).
+func Exact(in Instance) (*Solution, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if len(in.Sets) > 20 {
+		return nil, fmt.Errorf("setcover: Exact limited to 20 sets, got %d", len(in.Sets))
+	}
+	if in.Universe > 63 {
+		return nil, fmt.Errorf("setcover: Exact limited to 63 elements, got %d", in.Universe)
+	}
+	full := uint64(1)<<uint(in.Universe) - 1
+	masks := make([]uint64, len(in.Sets))
+	for i, set := range in.Sets {
+		for _, e := range set {
+			masks[i] |= 1 << uint(e)
+		}
+	}
+	cost := func(i int) float64 {
+		if in.Costs == nil {
+			return 1
+		}
+		return in.Costs[i]
+	}
+	bestCost := math.MaxFloat64
+	var bestPick uint32
+	found := false
+	for pick := uint32(0); pick < 1<<uint(len(in.Sets)); pick++ {
+		var m uint64
+		var c float64
+		for i := range masks {
+			if pick&(1<<uint(i)) != 0 {
+				m |= masks[i]
+				c += cost(i)
+			}
+		}
+		if m == full && c < bestCost {
+			bestCost, bestPick, found = c, pick, true
+		}
+	}
+	if !found {
+		return nil, ErrUncoverable
+	}
+	sol := &Solution{Cost: bestCost, Covered: in.Universe}
+	for i := 0; i < len(in.Sets); i++ {
+		if bestPick&(1<<uint(i)) != 0 {
+			sol.Chosen = append(sol.Chosen, int32(i))
+		}
+	}
+	if in.Universe == 0 {
+		sol.Cost = 0
+	}
+	return sol, nil
+}
+
+// HarmonicBound returns H_n = 1 + 1/2 + ... + 1/n, the greedy algorithm's
+// approximation guarantee for an n-element universe.
+func HarmonicBound(n int) float64 {
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}

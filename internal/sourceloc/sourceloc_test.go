@@ -1,0 +1,157 @@
+package sourceloc
+
+import (
+	"testing"
+
+	"lcrb/internal/diffusion"
+	"lcrb/internal/gen"
+	"lcrb/internal/graph"
+)
+
+func TestEstimateValidation(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Estimate(nil, []int32{0}, JordanCenter, 0); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Estimate(g, nil, JordanCenter, 0); err == nil {
+		t.Fatal("empty infected set accepted")
+	}
+	if _, err := Estimate(g, []int32{0}, Method(9), 0); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := Estimate(g, []int32{99}, JordanCenter, 0); err == nil {
+		t.Fatal("out-of-range infected node accepted")
+	}
+}
+
+func TestEstimatePathCenter(t *testing.T) {
+	// Bidirectional path 0 - 1 - 2 - 3 - 4: node 2 is both the Jordan and
+	// the distance center.
+	b := graph.NewBuilder(5)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(i+1, i)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	infected := []int32{0, 1, 2, 3, 4}
+	for _, m := range []Method{JordanCenter, DistanceCenter} {
+		cands, err := Estimate(g, infected, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands[0].Node != 2 {
+			t.Fatalf("%v: top candidate = %d, want 2", m, cands[0].Node)
+		}
+		if len(cands) != 5 {
+			t.Fatalf("%v: got %d candidates", m, len(cands))
+		}
+	}
+}
+
+func TestEstimateTopK(t *testing.T) {
+	b := graph.NewBuilder(4)
+	for i := int32(0); i < 3; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(i+1, i)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Estimate(g, []int32{0, 1, 2, 3}, JordanCenter, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("topK = 2 returned %d", len(cands))
+	}
+}
+
+func TestEstimateDisconnectedPenalized(t *testing.T) {
+	// Two components: {0,1} and {2}. Node 2 explains nothing and must rank
+	// last under DistanceCenter.
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Estimate(g, []int32{0, 1, 2}, DistanceCenter, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[len(cands)-1].Node != 2 {
+		t.Fatalf("isolated node should rank last: %+v", cands)
+	}
+}
+
+func TestRank(t *testing.T) {
+	cands := []Candidate{
+		{Node: 5, Score: 1},
+		{Node: 7, Score: 1},
+		{Node: 9, Score: 3},
+	}
+	if got := Rank(cands, 5); got != 1 {
+		t.Fatalf("Rank(5) = %d", got)
+	}
+	if got := Rank(cands, 7); got != 1 {
+		t.Fatalf("Rank(7) = %d, want 1 (tied)", got)
+	}
+	if got := Rank(cands, 9); got != 3 {
+		t.Fatalf("Rank(9) = %d", got)
+	}
+	if got := Rank(cands, 42); got != 0 {
+		t.Fatalf("Rank(absent) = %d", got)
+	}
+}
+
+// TestSourceLocalizationOnBroadcast plants a DOAM rumor on a symmetric
+// network and checks the true source ranks highly among the estimates.
+func TestSourceLocalizationOnBroadcast(t *testing.T) {
+	net, err := gen.Community(gen.CommunityConfig{
+		Nodes: 400, AvgDegree: 6, Symmetric: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := int32(10)
+	res, err := diffusion.DOAM{}.Run(net.Graph, []int32{source}, nil, nil, diffusion.Options{MaxHops: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infected []int32
+	for v, st := range res.Status {
+		if st == diffusion.Infected {
+			infected = append(infected, int32(v))
+		}
+	}
+	if len(infected) < 10 {
+		t.Skip("cascade too small for a meaningful localization test")
+	}
+	cands, err := Estimate(net.Graph, infected, JordanCenter, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := Rank(cands, source)
+	if rank == 0 {
+		t.Fatal("true source missing from candidates")
+	}
+	// Broadcast from a single source is perfectly ball-shaped, so the true
+	// source should be at or extremely near the Jordan center.
+	if rank > len(infected)/4+1 {
+		t.Fatalf("true source ranked %d of %d", rank, len(infected))
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if JordanCenter.String() != "jordan-center" || DistanceCenter.String() != "distance-center" {
+		t.Fatal("method names wrong")
+	}
+	if Method(9).String() == "" {
+		t.Fatal("unknown method produced empty string")
+	}
+}

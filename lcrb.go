@@ -1,0 +1,291 @@
+// Package lcrb is a Go implementation of "Least Cost Rumor Blocking in
+// Social Networks" (Fan, Lu, Wu, Thuraisingham, Ma, Bi — ICDCS 2013).
+//
+// Two cascades spread simultaneously through a directed social network: a
+// rumor R and a protector P, with P winning simultaneous arrivals. Rumors
+// start inside one community; the Least Cost Rumor Blocking (LCRB) problem
+// asks for a minimum protector seed set that keeps the rumor from infecting
+// the community's bridge ends — the first reachable nodes of neighbouring
+// communities.
+//
+// The package is a facade over the implementation packages:
+//
+//   - graph construction, I/O and traversal (internal/graph)
+//   - synthetic social networks calibrated to the paper's Enron and Hep
+//     datasets (internal/gen)
+//   - Louvain and label-propagation community detection (internal/community)
+//   - the OPOAO and DOAM two-cascade diffusion models plus competitive
+//     IC/LT extensions and a Monte-Carlo driver (internal/diffusion)
+//   - bridge-end discovery via rumor forward search trees (internal/bridge)
+//   - the LCRB-P submodular greedy (CELF-accelerated) and the LCRB-D
+//     Set-Cover-Based Greedy solvers (internal/core, internal/setcover)
+//   - the MaxDegree/Proximity/Random/NoBlocking baselines (internal/heuristic)
+//   - the paper's full evaluation: Figures 4-9 and Table I (internal/experiment)
+//   - rumor-source localization, the paper's future-work direction
+//     (internal/sourceloc)
+//
+// # Quick start
+//
+//	net, _ := lcrb.GenerateHep(0.1, 42)
+//	part := lcrb.DetectCommunities(net.Graph, 1)
+//	comm := part.ClosestBySize(80)
+//	rumors := part.Members(comm)[:3]
+//	prob, _ := lcrb.NewProblem(net.Graph, part.Assign(), comm, rumors)
+//	sol, _ := lcrb.SolveSCBG(prob, lcrb.SCBGOptions{})
+//	fmt.Println("protectors:", sol.Protectors)
+//
+// See the runnable programs under examples/ and the experiment harness in
+// cmd/lcrbbench.
+package lcrb
+
+import (
+	"io"
+
+	"lcrb/internal/community"
+	"lcrb/internal/core"
+	"lcrb/internal/diffusion"
+	"lcrb/internal/gen"
+	"lcrb/internal/graph"
+	"lcrb/internal/heuristic"
+	"lcrb/internal/rng"
+	"lcrb/internal/sourceloc"
+)
+
+// Re-exported graph types. A Graph is an immutable directed graph over
+// dense int32 node identifiers; build one with NewGraphBuilder, FromEdges
+// or ReadEdgeList.
+type (
+	// Graph is the directed social network representation.
+	Graph = graph.Graph
+	// Edge is a directed edge.
+	Edge = graph.Edge
+	// GraphBuilder accumulates edges into an immutable Graph.
+	GraphBuilder = graph.Builder
+	// EdgeList is a parsed external edge-list file.
+	EdgeList = graph.EdgeList
+)
+
+// Re-exported community-detection types.
+type (
+	// Partition assigns every node to a community.
+	Partition = community.Partition
+	// LouvainOptions tunes Louvain community detection.
+	LouvainOptions = community.LouvainOptions
+)
+
+// Re-exported problem and solver types.
+type (
+	// Problem is an LCRB instance with its bridge ends computed.
+	Problem = core.Problem
+	// SCBGOptions tunes the LCRB-D Set-Cover-Based Greedy solver.
+	SCBGOptions = core.SCBGOptions
+	// SCBGResult is the SCBG solution.
+	SCBGResult = core.SCBGResult
+	// GreedyOptions tunes the LCRB-P greedy solver.
+	GreedyOptions = core.GreedyOptions
+	// GreedyResult is the greedy solution.
+	GreedyResult = core.GreedyResult
+)
+
+// Re-exported diffusion types.
+type (
+	// Model is a two-cascade diffusion model.
+	Model = diffusion.Model
+	// OPOAO is the Opportunistic One-Activate-One model.
+	OPOAO = diffusion.OPOAO
+	// DOAM is the Deterministic One-Activate-Many model.
+	DOAM = diffusion.DOAM
+	// CompetitiveIC is the two-cascade Independent Cascade extension.
+	CompetitiveIC = diffusion.CompetitiveIC
+	// CompetitiveLT is the two-cascade Linear Threshold extension.
+	CompetitiveLT = diffusion.CompetitiveLT
+	// SimOptions tunes a simulation run.
+	SimOptions = diffusion.Options
+	// SimResult is the outcome of one run.
+	SimResult = diffusion.Result
+	// MonteCarlo averages many runs of a stochastic model.
+	MonteCarlo = diffusion.MonteCarlo
+	// Aggregate is a Monte-Carlo average.
+	Aggregate = diffusion.Aggregate
+	// Status is a node's diffusion state.
+	Status = diffusion.Status
+	// Event is one activation during a simulation.
+	Event = diffusion.Event
+	// Observer receives activation events (set it on SimOptions).
+	Observer = diffusion.Observer
+	// Trace records a simulation's events and answers provenance queries.
+	Trace = diffusion.Trace
+	// Realization simulates both cascades under fixed common random
+	// numbers; plug one into GreedyOptions.Realization to solve LCRB-P
+	// under a different diffusion model.
+	Realization = diffusion.Realization
+)
+
+// ICRealization returns the fixed-realization engine of the competitive
+// Independent Cascade model with edge probability p, for use with
+// GreedyOptions.Realization.
+func ICRealization(p float64) Realization { return diffusion.ICRealization(p) }
+
+// NewTrace returns an empty activation-trace recorder; install its
+// Observer on SimOptions to record a simulation.
+func NewTrace() *Trace { return diffusion.NewTrace() }
+
+// Node status values.
+const (
+	// Inactive nodes were reached by neither cascade.
+	Inactive = diffusion.Inactive
+	// Infected nodes were activated by the rumor cascade.
+	Infected = diffusion.Infected
+	// Protected nodes were activated by the protector cascade.
+	Protected = diffusion.Protected
+)
+
+// Re-exported generator types.
+type (
+	// Network is a generated graph with planted communities.
+	Network = gen.Network
+	// NetworkConfig parametrizes the community-network generator.
+	NetworkConfig = gen.CommunityConfig
+)
+
+// Re-exported heuristic types.
+type (
+	// Selector ranks candidate protector seeds.
+	Selector = heuristic.Selector
+	// SelectorContext carries the data a Selector may use.
+	SelectorContext = heuristic.Context
+	// MaxDegree ranks nodes by decreasing out-degree.
+	MaxDegree = heuristic.MaxDegree
+	// Proximity ranks the rumor seeds' direct out-neighbours.
+	Proximity = heuristic.Proximity
+	// RandomSelector ranks all non-rumor nodes randomly.
+	RandomSelector = heuristic.Random
+	// NoBlocking selects nothing (the reference line).
+	NoBlocking = heuristic.NoBlocking
+	// PageRankSelector ranks nodes by decreasing PageRank (extension
+	// baseline).
+	PageRankSelector = heuristic.PageRank
+	// DegreeDiscountSelector is the DegreeDiscount heuristic of Chen et
+	// al. (extension baseline).
+	DegreeDiscountSelector = heuristic.DegreeDiscount
+	// GVS is the greedy viral stopper (simulation-driven extension
+	// baseline); it has its own Select method rather than a Rank.
+	GVS = heuristic.GVS
+)
+
+// Re-exported source-localization types.
+type (
+	// SourceCandidate is a ranked rumor-source estimate.
+	SourceCandidate = sourceloc.Candidate
+	// SourceMethod selects the source-localization estimator.
+	SourceMethod = sourceloc.Method
+)
+
+// Source-localization methods.
+const (
+	// JordanCenter ranks by minimum eccentricity.
+	JordanCenter = sourceloc.JordanCenter
+	// DistanceCenter ranks by minimum total distance.
+	DistanceCenter = sourceloc.DistanceCenter
+)
+
+// ErrNoBridgeEnds is returned by the solvers when the instance has no
+// bridge ends (nothing to protect).
+var ErrNoBridgeEnds = core.ErrNoBridgeEnds
+
+// NewGraphBuilder returns a builder for a graph with numNodes nodes; the
+// node space grows automatically as edges are added.
+func NewGraphBuilder(numNodes int32) *GraphBuilder { return graph.NewBuilder(numNodes) }
+
+// FromEdges builds a graph from an edge list, dropping self-loops and
+// duplicates.
+func FromEdges(numNodes int32, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(numNodes, edges)
+}
+
+// ReadEdgeList parses a SNAP-style whitespace-separated edge list,
+// remapping sparse external identifiers to dense ones.
+func ReadEdgeList(r io.Reader) (*EdgeList, error) { return graph.ReadEdgeList(r) }
+
+// ReadEdgeListFile is ReadEdgeList over a file.
+func ReadEdgeListFile(path string) (*EdgeList, error) { return graph.ReadEdgeListFile(path) }
+
+// WriteEdgeList writes a graph as a dense edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// GenerateNetwork generates a community-structured social network.
+func GenerateNetwork(cfg NetworkConfig) (*Network, error) { return gen.Community(cfg) }
+
+// GenerateEnron generates a network calibrated to the paper's Enron email
+// dataset (36 692 nodes, average degree 10.0 at scale 1.0).
+func GenerateEnron(scale float64, seed uint64) (*Network, error) { return gen.Enron(scale, seed) }
+
+// GenerateHep generates a network calibrated to the paper's Hep
+// collaboration dataset (15 233 nodes, average degree 7.73 at scale 1.0).
+func GenerateHep(scale float64, seed uint64) (*Network, error) { return gen.Hep(scale, seed) }
+
+// Rewire returns a degree-preserving randomization of g (double-edge
+// swaps), the null model that destroys community structure while keeping
+// every node's degrees.
+func Rewire(g *Graph, swaps int, seed uint64) (*Graph, error) { return gen.Rewire(g, swaps, seed) }
+
+// DetectCommunities partitions g with the Louvain method (the detector the
+// paper uses), deterministically for a given seed.
+func DetectCommunities(g *Graph, seed uint64) *Partition {
+	return community.Louvain(g, community.LouvainOptions{Seed: seed})
+}
+
+// DetectCommunitiesLabelProp partitions g with label propagation, the
+// cheaper alternative front end.
+func DetectCommunitiesLabelProp(g *Graph, seed uint64) *Partition {
+	return community.LabelProp(g, community.LabelPropOptions{Seed: seed})
+}
+
+// Modularity scores a partition of g (higher is better).
+func Modularity(g *Graph, p *Partition) float64 { return community.Modularity(g, p) }
+
+// NewProblem builds an LCRB instance: it validates the inputs and computes
+// the bridge ends of the rumor community.
+func NewProblem(g *Graph, assign []int32, rumorCommunity int32, rumors []int32) (*Problem, error) {
+	return core.NewProblem(g, assign, rumorCommunity, rumors)
+}
+
+// SolveSCBG runs the Set-Cover-Based Greedy algorithm for LCRB-D (protect
+// every bridge end under the DOAM model). O(ln n)-approximate, which is
+// optimal unless P = NP.
+func SolveSCBG(p *Problem, opts SCBGOptions) (*SCBGResult, error) { return core.SCBG(p, opts) }
+
+// SolveGreedy runs the submodular greedy algorithm for LCRB-P (protect an
+// α fraction of the bridge ends under the OPOAO model). (1-1/e)-approximate
+// with respect to the Monte-Carlo σ̂ estimate.
+func SolveGreedy(p *Problem, opts GreedyOptions) (*GreedyResult, error) { return core.Greedy(p, opts) }
+
+// Simulate runs one two-cascade diffusion with the given model. seed drives
+// stochastic models; deterministic models ignore it.
+func Simulate(m Model, g *Graph, rumors, protectors []int32, seed uint64, opts SimOptions) (*SimResult, error) {
+	return m.Run(g, rumors, protectors, rng.New(seed), opts)
+}
+
+// SelectHeuristic returns the top k protector seeds of a baseline selector.
+func SelectHeuristic(sel Selector, ctx SelectorContext, k int, seed uint64) ([]int32, error) {
+	return heuristic.Select(sel, ctx, k, rng.New(seed))
+}
+
+// LocateSource ranks the infected nodes as candidate rumor originators
+// (the paper's future-work direction) and returns the topK most central.
+func LocateSource(g *Graph, infected []int32, method SourceMethod, topK int) ([]SourceCandidate, error) {
+	return sourceloc.Estimate(g, infected, method, topK)
+}
+
+// PageRank computes the PageRank vector of g with the default damping
+// factor (0.85).
+func PageRank(g *Graph) []float64 {
+	return graph.PageRank(g, graph.PageRankOptions{})
+}
+
+// StronglyConnectedComponents assigns every node a strongly connected
+// component identifier (Tarjan's algorithm) and returns the component
+// count. Identifiers are in reverse topological order of the condensation.
+func StronglyConnectedComponents(g *Graph) (comp []int32, count int32) {
+	return graph.StronglyConnectedComponents(g)
+}

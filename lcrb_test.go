@@ -1,0 +1,191 @@
+package lcrb_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lcrb"
+)
+
+// TestFacadeEndToEnd drives the whole pipeline through the public API:
+// generate -> detect -> problem -> both solvers -> simulate -> locate.
+func TestFacadeEndToEnd(t *testing.T) {
+	net, err := lcrb.GenerateHep(0.04, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := lcrb.DetectCommunities(net.Graph, 1)
+	if err := part.Validate(net.Graph.NumNodes()); err != nil {
+		t.Fatal(err)
+	}
+	if q := lcrb.Modularity(net.Graph, part); q <= 0 {
+		t.Fatalf("modularity = %v, want > 0 on a modular network", q)
+	}
+	comm := part.ClosestBySize(40)
+	members := part.Members(comm)
+	rumors := members[:2]
+
+	prob, err := lcrb.NewProblem(net.Graph, part.Assign(), comm, rumors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.NumEnds() == 0 {
+		t.Skip("no bridge ends for this draw")
+	}
+
+	scbg, err := lcrb.SolveSCBG(prob, lcrb.SCBGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scbg.Protectors) == 0 {
+		t.Fatal("SCBG selected nothing despite bridge ends existing")
+	}
+
+	greedy, err := lcrb.SolveGreedy(prob, lcrb.GreedyOptions{Alpha: 0.8, Samples: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.ProtectedEnds < greedy.BaselineEnds {
+		t.Fatal("greedy made things worse")
+	}
+
+	sim, err := lcrb.Simulate(lcrb.DOAM{}, net.Graph, rumors, scbg.Protectors, 0, lcrb.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Infected+sim.Protected == 0 {
+		t.Fatal("simulation activated nothing")
+	}
+
+	// Source localization on the unblocked cascade.
+	open, err := lcrb.Simulate(lcrb.DOAM{}, net.Graph, rumors, nil, 0, lcrb.SimOptions{MaxHops: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infected []int32
+	for v, st := range open.Status {
+		if st == lcrb.Infected {
+			infected = append(infected, int32(v))
+		}
+	}
+	cands, err := lcrb.LocateSource(net.Graph, infected, lcrb.JordanCenter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no source candidates")
+	}
+}
+
+func TestFacadeGraphConstruction(t *testing.T) {
+	b := lcrb.NewGraphBuilder(0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("graph = %v", g)
+	}
+	var buf bytes.Buffer
+	if err := lcrb.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	el, err := lcrb.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Graph.NumEdges() != 2 {
+		t.Fatalf("round trip edges = %d", el.Graph.NumEdges())
+	}
+}
+
+func TestFacadeHeuristics(t *testing.T) {
+	g, err := lcrb.FromEdges(4, []lcrb.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := lcrb.SelectorContext{Graph: g, Rumors: []int32{0}}
+	seeds, err := lcrb.SelectHeuristic(lcrb.Proximity{}, ctx, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 {
+		t.Fatalf("selected %v", seeds)
+	}
+}
+
+func TestFacadeStatusNames(t *testing.T) {
+	if !strings.Contains(lcrb.Protected.String(), "protected") {
+		t.Fatal("status alias broken")
+	}
+}
+
+func TestFacadeGraphAlgorithms(t *testing.T) {
+	b := lcrb.NewGraphBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := lcrb.PageRank(g)
+	if len(pr) != 4 {
+		t.Fatalf("PageRank length = %d", len(pr))
+	}
+	comp, count := lcrb.StronglyConnectedComponents(g)
+	if count != 2 {
+		t.Fatalf("SCC count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[0] != comp[2] || comp[3] == comp[0] {
+		t.Fatalf("SCC assignment = %v", comp)
+	}
+}
+
+func TestFacadeRewirePreservesDegrees(t *testing.T) {
+	net, err := lcrb.GenerateHep(0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := lcrb.Rewire(net.Graph, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < net.Graph.NumNodes(); u++ {
+		if r.OutDegree(u) != net.Graph.OutDegree(u) {
+			t.Fatalf("degree changed at %d", u)
+		}
+	}
+}
+
+func TestFacadeICRealizationWithGreedy(t *testing.T) {
+	net, err := lcrb.GenerateHep(0.03, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := lcrb.DetectCommunities(net.Graph, 1)
+	comm := part.ClosestBySize(40)
+	rumors := part.Members(comm)[:2]
+	prob, err := lcrb.NewProblem(net.Graph, part.Assign(), comm, rumors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.NumEnds() == 0 {
+		t.Skip("no bridge ends for this draw")
+	}
+	res, err := lcrb.SolveGreedy(prob, lcrb.GreedyOptions{
+		Alpha:       0.7,
+		Samples:     6,
+		Realization: lcrb.ICRealization(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProtectedEnds < res.BaselineEnds {
+		t.Fatal("IC greedy regressed below baseline")
+	}
+}

@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate the workflow runs: vet, build, then the full suite under
+# the race detector.
+ci: vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x
+
+clean:
+	$(GO) clean ./...

@@ -8,58 +8,160 @@
 //	lcrbbench -exp all -scale 0.1          # fast, scaled-down pass
 //	lcrbbench -exp fig4 -scale 1 -csv      # full-size Figure 4 as CSV
 //	lcrbbench -exp table1 -scale 0.25
+//
+// Long sweeps are interruptible and resumable: Ctrl-C (or -timeout) stops
+// at the next safe point, and with -checkpoint the completed experiments
+// are snapshotted after each job so a rerun with -resume replays their
+// stored reports and continues from the first unfinished one.
+//
+//	lcrbbench -exp all -scale 1 -checkpoint sweep.json           # killable
+//	lcrbbench -exp all -scale 1 -checkpoint sweep.json -resume   # continue
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
+	"lcrb/internal/checkpoint"
 	"lcrb/internal/experiment"
 	"lcrb/internal/gen"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "lcrbbench:", err)
 		os.Exit(1)
 	}
 }
 
+// testJobDone, when set, runs after each completed job. Tests use it to
+// interrupt a sweep at a deterministic point without a real SIGINT.
+var testJobDone func(name string)
+
 // run is the testable body of the command.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lcrbbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp   = fs.String("exp", "all", "experiment: fig4..fig9, table1, opoao, doam, alpha, detector, noise, nullmodel, extended, transfer or all")
-		scale = fs.Float64("scale", 0.1, "network scale (1.0 = paper size; expect long runtimes)")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		quiet = fs.Bool("quiet", false, "suppress progress output on stderr")
+		exp      = fs.String("exp", "all", "experiment: fig4..fig9, table1, opoao, doam, alpha, detector, noise, nullmodel, extended, transfer or all")
+		scale    = fs.Float64("scale", 0.1, "network scale (1.0 = paper size; expect long runtimes)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		quiet    = fs.Bool("quiet", false, "suppress progress output on stderr")
+		timeout  = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+		ckptPath = fs.String("checkpoint", "", "snapshot completed experiments to this file after each job")
+		resume   = fs.Bool("resume", false, "replay completed experiments from -checkpoint and continue")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
 	jobs, err := selectJobs(*exp, *scale)
 	if err != nil {
 		return err
 	}
+
+	// The fingerprint binds a checkpoint to the flags that shape the output,
+	// so a stale file cannot silently seed a different sweep.
+	var sweep *checkpoint.Sweep
+	fingerprint := fmt.Sprintf("lcrbbench exp=%s scale=%g csv=%v", *exp, *scale, *csv)
+	if *ckptPath != "" {
+		if *resume {
+			sweep, err = checkpoint.Load(*ckptPath, fingerprint)
+			if err != nil {
+				return err
+			}
+		} else {
+			sweep = &checkpoint.Sweep{Fingerprint: fingerprint}
+		}
+	}
+
+	completed := 0
 	for _, job := range jobs {
+		if sweep != nil {
+			if unit, ok := sweep.Get(job.cfg.Name); ok {
+				// Replaying the stored report keeps a resumed sweep's output
+				// byte-identical to an uninterrupted run.
+				if !*quiet {
+					fmt.Fprintf(stderr, "%s already complete (checkpointed), replaying\n", job.cfg.Name)
+				}
+				if _, err := io.WriteString(stdout, unit.Output); err != nil {
+					return err
+				}
+				completed++
+				continue
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return interrupted(stderr, err, completed, len(jobs), *ckptPath)
+		}
 		if !*quiet {
 			fmt.Fprintf(stderr, "running %s (scale %.2f)...\n", job.cfg.Name, *scale)
 		}
 		start := time.Now()
-		if err := job.run(stdout, *csv); err != nil {
+		// Buffer the report so the checkpoint stores exactly what a reader
+		// of stdout saw, separator newline included.
+		var buf bytes.Buffer
+		if err := job.run(ctx, &buf, *csv); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return interrupted(stderr, err, completed, len(jobs), *ckptPath)
+			}
 			return fmt.Errorf("%s: %w", job.cfg.Name, err)
+		}
+		fmt.Fprintln(&buf)
+		if _, err := stdout.Write(buf.Bytes()); err != nil {
+			return err
 		}
 		if !*quiet {
 			fmt.Fprintf(stderr, "%s done in %v\n", job.cfg.Name, time.Since(start).Round(time.Millisecond))
 		}
-		fmt.Fprintln(stdout)
+		if sweep != nil {
+			sweep.Mark(checkpoint.Unit{Name: job.cfg.Name, Output: buf.String()})
+			if err := checkpoint.Save(*ckptPath, sweep); err != nil {
+				return err
+			}
+		}
+		completed++
+		if testJobDone != nil {
+			testJobDone(job.cfg.Name)
+		}
+	}
+	// A finished sweep leaves no checkpoint behind; the file only exists to
+	// bridge interruptions.
+	if sweep != nil {
+		if err := checkpoint.Remove(*ckptPath); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// interrupted reports the partial-results state after a cancellation or
+// timeout and returns the cause.
+func interrupted(stderr io.Writer, cause error, completed, total int, ckptPath string) error {
+	fmt.Fprintf(stderr, "interrupted: %d of %d experiments completed\n", completed, total)
+	if ckptPath != "" {
+		fmt.Fprintf(stderr, "checkpoint saved to %s; rerun with -resume to continue\n", ckptPath)
+	} else {
+		fmt.Fprintln(stderr, "no -checkpoint given; completed work is not resumable")
+	}
+	return cause
 }
 
 // job couples a config with its runner kind.
@@ -136,17 +238,17 @@ func selectJobs(exp string, scale float64) ([]job, error) {
 }
 
 // run executes the job and writes its report.
-func (j job) run(w io.Writer, csv bool) error {
+func (j job) run(ctx context.Context, w io.Writer, csv bool) error {
 	switch j.kind {
 	case "detector":
 		// The detector ablation performs its own twin setups.
-		abl, err := experiment.RunDetectorAblation(j.cfg)
+		abl, err := experiment.RunDetectorAblationContext(ctx, j.cfg)
 		if err != nil {
 			return err
 		}
 		return experiment.WriteDetectorAblation(w, abl)
 	case "nullmodel":
-		abl, err := experiment.RunNullModelAblation(j.cfg, gen.RewireAll)
+		abl, err := experiment.RunNullModelAblationContext(ctx, j.cfg, gen.RewireAll)
 		if err != nil {
 			return err
 		}
@@ -158,7 +260,7 @@ func (j job) run(w io.Writer, csv bool) error {
 	}
 	switch j.kind {
 	case "opoao":
-		fr, err := experiment.RunFigureOPOAO(inst)
+		fr, err := experiment.RunFigureOPOAOContext(ctx, inst)
 		if err != nil {
 			return err
 		}
@@ -167,7 +269,7 @@ func (j job) run(w io.Writer, csv bool) error {
 		}
 		return writeShape(w, experiment.CheckFigureOPOAO(fr, 0.10))
 	case "doam":
-		fr, err := experiment.RunFigureDOAM(inst)
+		fr, err := experiment.RunFigureDOAMContext(ctx, inst)
 		if err != nil {
 			return err
 		}
@@ -176,31 +278,31 @@ func (j job) run(w io.Writer, csv bool) error {
 		}
 		return writeShape(w, experiment.CheckFigureDOAM(fr, 0.10))
 	case "alpha":
-		sweep, err := experiment.RunAlphaSweep(inst, []float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95})
+		sweep, err := experiment.RunAlphaSweepContext(ctx, inst, []float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95})
 		if err != nil {
 			return err
 		}
 		return experiment.WriteAlphaSweep(w, sweep)
 	case "noise":
-		abl, err := experiment.RunNoiseAblation(inst, []float64{0, 0.1, 0.25, 0.5, 0.75})
+		abl, err := experiment.RunNoiseAblationContext(ctx, inst, []float64{0, 0.1, 0.25, 0.5, 0.75})
 		if err != nil {
 			return err
 		}
 		return experiment.WriteNoiseAblation(w, abl)
 	case "extended":
-		cmp, err := experiment.RunExtendedComparison(inst)
+		cmp, err := experiment.RunExtendedComparisonContext(ctx, inst)
 		if err != nil {
 			return err
 		}
 		return experiment.WriteExtendedComparison(w, cmp)
 	case "transfer":
-		tr, err := experiment.RunModelTransfer(inst)
+		tr, err := experiment.RunModelTransferContext(ctx, inst)
 		if err != nil {
 			return err
 		}
 		return experiment.WriteModelTransfer(w, tr)
 	case "table":
-		tr, err := experiment.RunTable(inst)
+		tr, err := experiment.RunTableContext(ctx, inst)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -45,7 +46,7 @@ func TestSelectJobs(t *testing.T) {
 
 func TestRunTableBlockText(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-exp", "table1", "-scale", "0.04", "-quiet"}, &out, io.Discard)
+	err := run(context.Background(), []string{"-exp", "table1", "-scale", "0.04", "-quiet"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestRunTableBlockText(t *testing.T) {
 
 func TestRunFigureCSV(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-exp", "fig7", "-scale", "0.04", "-quiet", "-csv"}, &out, io.Discard)
+	err := run(context.Background(), []string{"-exp", "fig7", "-scale", "0.04", "-quiet", "-csv"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestRunFigureCSV(t *testing.T) {
 
 func TestRunDetectorAblation(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-exp", "detector", "-scale", "0.04", "-quiet"}, &out, io.Discard)
+	err := run(context.Background(), []string{"-exp", "detector", "-scale", "0.04", "-quiet"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,10 +83,10 @@ func TestRunDetectorAblation(t *testing.T) {
 }
 
 func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-exp", "nope"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-exp", "nope"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run([]string{"-bogus"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
 }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lcrb/internal/checkpoint"
+)
+
+// benchArgs is a small two-job sweep (fig7 + fig8 at tiny scale would be
+// slow; table1 expands to three table jobs, giving interruption points).
+func benchArgs(extra ...string) []string {
+	return append([]string{"-exp", "table1", "-scale", "0.04", "-quiet"}, extra...)
+}
+
+func TestResumeMatchesUninterruptedRun(t *testing.T) {
+	// Reference: the sweep start to finish, no checkpoint.
+	var want bytes.Buffer
+	if err := run(context.Background(), benchArgs(), &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after the first completed job, as SIGINT
+	// would, but at a deterministic point.
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testJobDone = func(string) { cancel() }
+	defer func() { testJobDone = nil }()
+
+	var first bytes.Buffer
+	var report bytes.Buffer
+	err := run(ctx, benchArgs("-checkpoint", ckpt), &first, &report)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(report.String(), "interrupted: 1 of 3 experiments completed") {
+		t.Fatalf("partial-results report missing:\n%s", report.String())
+	}
+	if !strings.Contains(report.String(), "-resume") {
+		t.Fatalf("resume hint missing:\n%s", report.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	testJobDone = nil
+
+	// The interrupted run produced exactly the first job's report.
+	if !strings.HasPrefix(want.String(), first.String()) || first.Len() == 0 {
+		t.Fatalf("interrupted run output is not a prefix of the full report:\n%s", first.String())
+	}
+
+	// Resume: replays the stored job verbatim, runs the remaining two, so
+	// the resumed run's full output matches an uninterrupted sweep.
+	var second bytes.Buffer
+	if err := run(context.Background(), benchArgs("-checkpoint", ckpt, "-resume"), &second, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != want.String() {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s", second.String(), want.String())
+	}
+	// A completed sweep cleans up its checkpoint.
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint left behind after completion: %v", err)
+	}
+}
+
+func TestResumeRejectsMismatchedFingerprint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+	if err := checkpoint.Save(ckpt, &checkpoint.Sweep{Fingerprint: "lcrbbench exp=all scale=1 csv=false"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), benchArgs("-checkpoint", ckpt, "-resume"), io.Discard, io.Discard)
+	if !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("err = %v, want checkpoint.ErrMismatch", err)
+	}
+}
+
+func TestResumeRequiresCheckpointFlag(t *testing.T) {
+	if err := run(context.Background(), benchArgs("-resume"), io.Discard, io.Discard); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+}
+
+func TestTimeoutInterruptsSweep(t *testing.T) {
+	var report bytes.Buffer
+	err := run(context.Background(), benchArgs("-timeout", "1ns"), io.Discard, &report)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(report.String(), "interrupted: 0 of 3 experiments completed") {
+		t.Fatalf("partial-results report missing:\n%s", report.String())
+	}
+}
+
+func TestPreCanceledContextFailsFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := run(ctx, benchArgs(), io.Discard, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pre-canceled run took %v", elapsed)
+	}
+}

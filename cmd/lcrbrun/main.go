@@ -10,12 +10,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
 
+	"lcrb/internal/checkpoint"
 	"lcrb/internal/community"
 	"lcrb/internal/core"
 	"lcrb/internal/diffusion"
@@ -26,14 +31,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "lcrbrun:", err)
 		os.Exit(1)
 	}
 }
 
 // run is the testable body of the command.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lcrbrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -51,9 +58,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		budget    = fs.Int("budget", 0, "protector budget for heuristics (default |R|)")
 		hops      = fs.Int("hops", 31, "simulation horizon")
 		samples   = fs.Int("samples", 50, "Monte-Carlo samples for stochastic models")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		ckptPath  = fs.String("checkpoint", "", "checkpoint file recording the selected protectors")
+		resume    = fs.Bool("resume", false, "reuse protectors from -checkpoint instead of re-selecting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptPath == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	g, assign, err := loadNetwork(*graphPath, *commPath, *dataset, *scale, *seed)
@@ -84,13 +102,80 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "network: %v\ncommunity %d: |C| = %d, |R| = %d, |B| = %d\n",
 		g, comm, len(members), len(rumors), prob.NumEnds())
 
-	protectors, err := selectProtectors(stderr, *algorithm, prob, g, rumors, *alpha, *budget, *samples, *hops, *seed, src)
-	if err != nil {
-		return err
+	// Protector selection is the expensive stage; a checkpoint records its
+	// result so an interrupted or repeated run can skip straight to the
+	// simulation. The fingerprint covers every flag that influences
+	// selection, so a checkpoint never leaks across configurations.
+	fingerprint := fmt.Sprintf(
+		"lcrbrun graph=%s communities=%s dataset=%s scale=%g seed=%d community-size=%d rumor-frac=%g algorithm=%s alpha=%g budget=%d samples=%d hops=%d",
+		*graphPath, *commPath, *dataset, *scale, *seed, *commSize, *rumorFrac, *algorithm, *alpha, *budget, *samples, *hops)
+	var sweep *checkpoint.Sweep
+	if *ckptPath != "" {
+		if *resume {
+			sweep, err = checkpoint.Load(*ckptPath, fingerprint)
+			if err != nil {
+				return err
+			}
+		} else {
+			sweep = &checkpoint.Sweep{Version: checkpoint.Version, Fingerprint: fingerprint}
+		}
+	}
+
+	var protectors []int32
+	restored := false
+	if sweep != nil {
+		if u, ok := sweep.Get("protectors"); ok {
+			protectors, err = decodeProtectors(u.Output)
+			if err != nil {
+				return err
+			}
+			restored = true
+			fmt.Fprintf(stderr, "lcrbrun: resumed %d protectors from %s\n", len(protectors), *ckptPath)
+		}
+	}
+	if !restored {
+		protectors, err = selectProtectors(ctx, stderr, *algorithm, prob, g, rumors, *alpha, *budget, *samples, *hops, *seed, src)
+		if err != nil {
+			return err
+		}
+		if sweep != nil {
+			sweep.Mark(checkpoint.Unit{Name: "protectors", Output: encodeProtectors(protectors)})
+			if err := checkpoint.Save(*ckptPath, sweep); err != nil {
+				return err
+			}
+		}
 	}
 	fmt.Fprintf(stdout, "algorithm %s selected %d protectors\n", *algorithm, len(protectors))
 
-	return simulate(stdout, *model, g, rumors, protectors, prob.Ends, *icProb, *hops, *samples, *seed)
+	if err := simulate(ctx, stdout, *model, g, rumors, protectors, prob.Ends, *icProb, *hops, *samples, *seed); err != nil {
+		return err
+	}
+	// A completed run cleans up after itself; the checkpoint only matters
+	// when the simulation stage did not finish.
+	return checkpoint.Remove(*ckptPath)
+}
+
+// encodeProtectors renders a protector set for checkpoint storage.
+func encodeProtectors(ps []int32) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = strconv.FormatInt(int64(p), 10)
+	}
+	return strings.Join(parts, " ")
+}
+
+// decodeProtectors parses a checkpointed protector set.
+func decodeProtectors(s string) ([]int32, error) {
+	fields := strings.Fields(s)
+	ps := make([]int32, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("checkpointed protector %q: %w", f, err)
+		}
+		ps = append(ps, int32(v))
+	}
+	return ps, nil
 }
 
 // loadNetwork reads or generates the graph plus a community assignment.
@@ -135,13 +220,13 @@ func loadNetwork(graphPath, commPath, dataset string, scale float64, seed uint64
 }
 
 // selectProtectors dispatches on the algorithm name.
-func selectProtectors(stderr io.Writer, algorithm string, prob *core.Problem, g *graph.Graph, rumors []int32, alpha float64, budget, samples, hops int, seed uint64, src *rng.Source) ([]int32, error) {
+func selectProtectors(ctx context.Context, stderr io.Writer, algorithm string, prob *core.Problem, g *graph.Graph, rumors []int32, alpha float64, budget, samples, hops int, seed uint64, src *rng.Source) ([]int32, error) {
 	if budget <= 0 {
 		budget = len(rumors)
 	}
 	switch algorithm {
 	case "scbg":
-		res, err := core.SCBG(prob, core.SCBGOptions{})
+		res, err := core.SCBGContext(ctx, prob, core.SCBGOptions{})
 		if err != nil && !errors.Is(err, core.ErrNoBridgeEnds) {
 			if res != nil && res.UncoverableEnds > 0 {
 				fmt.Fprintf(stderr, "lcrbrun: warning: %d bridge ends uncoverable\n", res.UncoverableEnds)
@@ -154,12 +239,15 @@ func selectProtectors(stderr io.Writer, algorithm string, prob *core.Problem, g 
 		}
 		return res.Protectors, nil
 	case "greedy":
-		res, err := core.Greedy(prob, core.GreedyOptions{
+		res, err := core.GreedyContext(ctx, prob, core.GreedyOptions{
 			Alpha: alpha, Samples: samples / 2, Seed: seed + 200, MaxHops: hops,
 		})
 		if err != nil {
 			if errors.Is(err, core.ErrNoBridgeEnds) {
 				return nil, nil
+			}
+			if res != nil && res.Partial {
+				fmt.Fprintf(stderr, "lcrbrun: greedy interrupted after selecting %d protectors\n", len(res.Protectors))
 			}
 			return nil, err
 		}
@@ -184,15 +272,15 @@ func selectProtectors(stderr io.Writer, algorithm string, prob *core.Problem, g 
 		case "none":
 			sel = heuristic.NoBlocking{}
 		}
-		ctx := heuristic.Context{Graph: g, Rumors: rumors, BridgeEnds: prob.Ends}
-		return heuristic.Select(sel, ctx, budget, src.Split())
+		hctx := heuristic.Context{Graph: g, Rumors: rumors, BridgeEnds: prob.Ends}
+		return heuristic.SelectContext(ctx, sel, hctx, budget, src.Split())
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", algorithm)
 	}
 }
 
 // simulate runs the chosen model and prints the outcome.
-func simulate(stdout io.Writer, model string, g *graph.Graph, rumors, protectors, ends []int32, icProb float64, hops, samples int, seed uint64) error {
+func simulate(ctx context.Context, stdout io.Writer, model string, g *graph.Graph, rumors, protectors, ends []int32, icProb float64, hops, samples int, seed uint64) error {
 	var m diffusion.Model
 	switch model {
 	case "doam":
@@ -208,14 +296,14 @@ func simulate(stdout io.Writer, model string, g *graph.Graph, rumors, protectors
 	}
 	opts := diffusion.Options{MaxHops: hops, RecordHops: true}
 	if model == "doam" {
-		res, err := m.Run(g, rumors, protectors, nil, opts)
+		res, err := diffusion.RunModel(ctx, m, g, rumors, protectors, nil, opts)
 		if err != nil {
 			return err
 		}
 		printOutcome(stdout, float64(res.Infected), float64(res.Protected), countInfectedEnds(res.Status, ends), len(ends))
 		return nil
 	}
-	agg, err := diffusion.MonteCarlo{Model: m, Samples: samples, Seed: seed + 300}.Run(g, rumors, protectors, opts)
+	agg, err := diffusion.MonteCarlo{Model: m, Samples: samples, Seed: seed + 300}.RunContext(ctx, g, rumors, protectors, opts)
 	if err != nil {
 		return err
 	}

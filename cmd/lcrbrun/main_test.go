@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func baseArgs(extra ...string) []string {
 
 func TestRunSCBGDoam(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(baseArgs("-algorithm", "scbg", "-model", "doam"), &out, io.Discard); err != nil {
+	if err := run(context.Background(), baseArgs("-algorithm", "scbg", "-model", "doam"), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"network:", "algorithm scbg selected", "infected nodes:", "bridge ends infected:"} {
@@ -31,7 +32,7 @@ func TestRunSCBGDoam(t *testing.T) {
 
 func TestRunGreedyOpoao(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(baseArgs("-algorithm", "greedy", "-model", "opoao", "-alpha", "0.6"), &out, io.Discard); err != nil {
+	if err := run(context.Background(), baseArgs("-algorithm", "greedy", "-model", "opoao", "-alpha", "0.6"), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "algorithm greedy selected") {
@@ -43,7 +44,7 @@ func TestRunHeuristics(t *testing.T) {
 	for _, algo := range []string{"maxdegree", "degreediscount", "pagerank", "proximity", "random", "none"} {
 		t.Run(algo, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run(baseArgs("-algorithm", algo, "-model", "doam"), &out, io.Discard); err != nil {
+			if err := run(context.Background(), baseArgs("-algorithm", algo, "-model", "doam"), &out, io.Discard); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(out.String(), "algorithm "+algo) {
@@ -57,7 +58,7 @@ func TestRunExtensionModels(t *testing.T) {
 	for _, model := range []string{"ic", "lt"} {
 		t.Run(model, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run(baseArgs("-algorithm", "scbg", "-model", model), &out, io.Discard); err != nil {
+			if err := run(context.Background(), baseArgs("-algorithm", "scbg", "-model", model), &out, io.Discard); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(out.String(), "infected nodes:") {
@@ -79,7 +80,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := run(tt.args, io.Discard, io.Discard); err == nil {
+			if err := run(context.Background(), tt.args, io.Discard, io.Discard); err == nil {
 				t.Fatal("invalid invocation accepted")
 			}
 		})

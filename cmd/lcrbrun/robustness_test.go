@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lcrb/internal/checkpoint"
+)
+
+func TestRunPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, baseArgs("-algorithm", "greedy", "-model", "opoao"), io.Discard, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunTimeoutExpires(t *testing.T) {
+	err := run(context.Background(),
+		baseArgs("-algorithm", "greedy", "-model", "opoao", "-timeout", "1ns"),
+		io.Discard, io.Discard)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunResumeRequiresCheckpoint(t *testing.T) {
+	if err := run(context.Background(), baseArgs("-resume"), io.Discard, io.Discard); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+}
+
+func TestRunCheckpointResumeSkipsSelection(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.json")
+	args := baseArgs("-algorithm", "scbg", "-model", "doam", "-checkpoint", ckpt)
+
+	// Reference run, no checkpoint involvement.
+	var want bytes.Buffer
+	if err := run(context.Background(), baseArgs("-algorithm", "scbg", "-model", "doam"), &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// A completed run removes its own checkpoint.
+	var full bytes.Buffer
+	if err := run(context.Background(), args, &full, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if full.String() != want.String() {
+		t.Fatalf("checkpointed run diverged:\n%s\nvs\n%s", full.String(), want.String())
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint left behind after completion: %v", err)
+	}
+
+	// Simulate an interrupted run by planting a checkpoint with a bogus
+	// protector set; resume must use it verbatim instead of re-selecting.
+	fp, err := fingerprintFor(t, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := &checkpoint.Sweep{Fingerprint: fp}
+	sweep.Mark(checkpoint.Unit{Name: "protectors", Output: "0 1 2"})
+	if err := checkpoint.Save(ckpt, sweep); err != nil {
+		t.Fatal(err)
+	}
+	var out, diag bytes.Buffer
+	if err := run(context.Background(), append(args, "-resume"), &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "selected 3 protectors") {
+		t.Fatalf("resume did not reuse checkpointed protectors:\n%s", out.String())
+	}
+	if !strings.Contains(diag.String(), "resumed 3 protectors") {
+		t.Fatalf("resume note missing:\n%s", diag.String())
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint left behind after resumed completion: %v", err)
+	}
+}
+
+func TestRunResumeRejectsMismatchedFingerprint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.json")
+	if err := checkpoint.Save(ckpt, &checkpoint.Sweep{Fingerprint: "some other run"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(),
+		baseArgs("-algorithm", "scbg", "-model", "doam", "-checkpoint", ckpt, "-resume"),
+		io.Discard, io.Discard)
+	if !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("err = %v, want checkpoint.ErrMismatch", err)
+	}
+}
+
+// fingerprintFor obtains the selection fingerprint run would use for a flag
+// set, without duplicating the format string in the test. It re-runs the
+// command with an unknown -model: selection completes and checkpoints, the
+// simulation stage fails, and the surviving checkpoint carries the real
+// fingerprint, which a deliberately mismatched Load then reports.
+func fingerprintFor(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	ckpt := filepath.Join(t.TempDir(), "fp.json")
+	withCkpt := make([]string, 0, len(args)+2)
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-checkpoint" {
+			i++ // drop the caller's checkpoint pair
+			continue
+		}
+		withCkpt = append(withCkpt, args[i])
+	}
+	withCkpt = append(withCkpt, "-checkpoint", ckpt)
+	err := run(context.Background(), append(withCkpt, "-model", "nope"), io.Discard, io.Discard)
+	if err == nil {
+		return "", errors.New("expected model error")
+	}
+	s, err := checkpoint.Load(ckpt, "")
+	if s != nil {
+		return "", errors.New("unexpected fingerprint match")
+	}
+	msg := err.Error()
+	const marker = "stored \""
+	i := strings.Index(msg, marker)
+	j := strings.Index(msg, "\", expected")
+	if i < 0 || j < 0 {
+		return "", errors.New("cannot extract fingerprint from: " + msg)
+	}
+	return msg[i+len(marker) : j], nil
+}

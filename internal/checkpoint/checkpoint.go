@@ -1,0 +1,169 @@
+// Package checkpoint persists the progress of a long-running experiment
+// sweep so an interrupted run — Ctrl-C, deadline, crash — can resume
+// without repeating completed work.
+//
+// The format is a single JSON document written with the write-temp-then-
+// rename idiom, so a checkpoint on disk is always a complete snapshot:
+// either the previous one or the new one, never a torn write. A Sweep
+// carries a caller-defined fingerprint of the run configuration; Load
+// refuses to resume when the fingerprint does not match, preventing a
+// checkpoint from one sweep silently seeding a different one.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Version identifies the on-disk schema; bump on incompatible change.
+const Version = 1
+
+// ErrMismatch is returned (wrapped) by Load when the stored fingerprint
+// does not match the expected one. Test with errors.Is.
+var ErrMismatch = errors.New("checkpoint: fingerprint mismatch")
+
+// Unit is one completed unit of a sweep: a named job together with its
+// rendered output. Replaying the stored outputs in order reproduces the
+// report of the completed prefix byte for byte.
+type Unit struct {
+	// Name identifies the job within the sweep (must be unique).
+	Name string `json:"name"`
+	// Output is the job's rendered report text.
+	Output string `json:"output,omitempty"`
+}
+
+// Sweep is a snapshot of sweep progress.
+type Sweep struct {
+	// Version is the schema version; Load rejects versions it does not
+	// understand.
+	Version int `json:"version"`
+	// Fingerprint binds the checkpoint to one run configuration (for
+	// example "bench exp=figures scale=0.2 csv=false"). Load compares it
+	// to the caller's expectation.
+	Fingerprint string `json:"fingerprint"`
+	// Done lists the completed units in completion order.
+	Done []Unit `json:"done"`
+}
+
+// Completed reports whether the named unit is already done.
+func (s *Sweep) Completed(name string) bool {
+	_, ok := s.Get(name)
+	return ok
+}
+
+// Get returns the completed unit of that name, if any.
+func (s *Sweep) Get(name string) (Unit, bool) {
+	for _, u := range s.Done {
+		if u.Name == name {
+			return u, true
+		}
+	}
+	return Unit{}, false
+}
+
+// Mark appends a completed unit, replacing any previous entry of the same
+// name (a re-run unit supersedes its old output).
+func (s *Sweep) Mark(u Unit) {
+	for i := range s.Done {
+		if s.Done[i].Name == u.Name {
+			s.Done[i] = u
+			return
+		}
+	}
+	s.Done = append(s.Done, u)
+}
+
+// Save writes the sweep atomically to path: the JSON is written to a
+// temporary file in the same directory and renamed into place, so readers
+// never observe a partial checkpoint. Parent directories are created as
+// needed.
+func Save(path string, s *Sweep) error {
+	if path == "" {
+		return fmt.Errorf("checkpoint: save: empty path")
+	}
+	if s == nil {
+		return fmt.Errorf("checkpoint: save: nil sweep")
+	}
+	s.Version = Version
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save: encode: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	// On any failure past this point, remove the temp file; the previous
+	// checkpoint (if any) stays untouched.
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: save: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: save: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: save: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: save: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint and verifies it matches the expected
+// fingerprint. A missing file is not an error: Load returns a fresh empty
+// sweep carrying the fingerprint, so callers use one code path for cold
+// starts and resumes. A fingerprint mismatch returns an error wrapping
+// ErrMismatch along with both fingerprints, so the operator can decide to
+// delete the stale file.
+func Load(path, fingerprint string) (*Sweep, error) {
+	if path == "" {
+		return nil, fmt.Errorf("checkpoint: load: empty path")
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Sweep{Version: Version, Fingerprint: fingerprint}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: load: %w", err)
+	}
+	var s Sweep
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("checkpoint: load %s: decode: %w", path, err)
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("checkpoint: load %s: unsupported version %d (want %d)", path, s.Version, Version)
+	}
+	if s.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("checkpoint: load %s: stored %q, expected %q: %w",
+			path, s.Fingerprint, fingerprint, ErrMismatch)
+	}
+	return &s, nil
+}
+
+// Remove deletes the checkpoint file; a missing file is not an error. Call
+// it after a sweep completes so a finished run does not shadow the next.
+func Remove(path string) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("checkpoint: remove: %w", err)
+	}
+	return nil
+}

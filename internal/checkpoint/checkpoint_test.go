@@ -1,0 +1,129 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "sweep.json")
+	s := &Sweep{Fingerprint: "bench exp=figures"}
+	s.Mark(Unit{Name: "fig4", Output: "panel A\n"})
+	s.Mark(Unit{Name: "fig7", Output: "panel B\n"})
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, "bench exp=figures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Done, s.Done) {
+		t.Fatalf("round trip diverged: %+v vs %+v", got.Done, s.Done)
+	}
+	if !got.Completed("fig4") || got.Completed("fig9") {
+		t.Fatalf("Completed lookup wrong: %+v", got.Done)
+	}
+}
+
+func TestLoadMissingFileIsFreshSweep(t *testing.T) {
+	s, err := Load(filepath.Join(t.TempDir(), "absent.json"), "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Done) != 0 || s.Fingerprint != "fp" {
+		t.Fatalf("fresh sweep = %+v", s)
+	}
+}
+
+func TestLoadFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := Save(path, &Sweep{Fingerprint: "run A"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path, "run B")
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+	// Both fingerprints must appear so the operator can diagnose.
+	if !strings.Contains(err.Error(), "run A") || !strings.Contains(err.Error(), "run B") {
+		t.Fatalf("fingerprints missing from %v", err)
+	}
+}
+
+func TestMarkReplacesByName(t *testing.T) {
+	s := &Sweep{}
+	s.Mark(Unit{Name: "job", Output: "old"})
+	s.Mark(Unit{Name: "job", Output: "new"})
+	if len(s.Done) != 1 || s.Done[0].Output != "new" {
+		t.Fatalf("Mark did not replace: %+v", s.Done)
+	}
+}
+
+func TestSaveAtomicReplacesAndLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.json")
+	if err := Save(path, &Sweep{Fingerprint: "fp"}); err != nil {
+		t.Fatal(err)
+	}
+	second := &Sweep{Fingerprint: "fp"}
+	second.Mark(Unit{Name: "done"})
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Completed("done") {
+		t.Fatalf("second save lost: %+v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestLoadRejectsCorruptAndWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(corrupt, "fp"); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	wrongVer := filepath.Join(dir, "ver.json")
+	if err := os.WriteFile(wrongVer, []byte(`{"version": 99, "fingerprint": "fp"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(wrongVer, "fp"); err == nil {
+		t.Fatal("future-version checkpoint accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := Save(path, &Sweep{Fingerprint: "fp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file still present: %v", err)
+	}
+	// Removing again (or a blank path) is fine.
+	if err := Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -95,8 +95,12 @@ func oneLevel(u *undirected, src *rng.Source, opts LouvainOptions) (assign []int
 	m2 := 2 * u.totalW
 
 	order := src.Perm(int(n))
-	// neighbour-community weights of the node under consideration.
+	// neighbour-community weights of the node under consideration. neighs
+	// records first-encounter order: candidate communities must be visited
+	// deterministically, not in randomized map order, because near-ties
+	// (within MinGain) resolve in favour of the earlier candidate.
 	neighW := make(map[int32]float64)
+	var neighs []int32
 
 	for pass := 0; ; pass++ {
 		moved := 0
@@ -105,8 +109,13 @@ func oneLevel(u *undirected, src *rng.Source, opts LouvainOptions) (assign []int
 			ca := assign[a]
 			// Gather weights to neighbouring communities.
 			clear(neighW)
+			neighs = neighs[:0]
 			for _, e := range u.adj[a] {
-				neighW[assign[e.to]] += e.w
+				c := assign[e.to]
+				if _, seen := neighW[c]; !seen {
+					neighs = append(neighs, c)
+				}
+				neighW[c] += e.w
 			}
 			// Remove a from its community.
 			commTot[ca] -= u.degrees[a]
@@ -114,7 +123,8 @@ func oneLevel(u *undirected, src *rng.Source, opts LouvainOptions) (assign []int
 			//   k_{a,c} - resolution * tot(c) * k_a / m2
 			// Staying put is the baseline.
 			best, bestGain := ca, neighW[ca]-opts.Resolution*commTot[ca]*u.degrees[a]/m2
-			for c, w := range neighW {
+			for _, c := range neighs {
+				w := neighW[c]
 				if c == ca {
 					continue
 				}

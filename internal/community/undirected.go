@@ -1,6 +1,8 @@
 package community
 
 import (
+	"sort"
+
 	"lcrb/internal/graph"
 )
 
@@ -35,13 +37,22 @@ func project(g *graph.Graph) *undirected {
 	// Accumulate weights per unordered pair. Out-adjacency is sorted, so
 	// merging u->v and v->u only needs a weight map per node batch; to stay
 	// allocation-light we accumulate into a map keyed by the neighbour.
+	// Adjacency is emitted in sorted neighbour order, never map order: the
+	// runtime randomizes map iteration per process, and downstream float
+	// summation plus Louvain's near-tie resolution are order-sensitive, so
+	// map order here would make whole runs irreproducible.
 	acc := make(map[int32]float64)
+	var keys []int32
 	for a := int32(0); a < n; a++ {
 		clear(acc)
+		keys = keys[:0]
 		for _, b := range g.Out(a) {
 			if b == a {
 				u.selfW[a]++
 				continue
+			}
+			if _, seen := acc[b]; !seen {
+				keys = append(keys, b)
 			}
 			acc[b]++
 		}
@@ -49,10 +60,14 @@ func project(g *graph.Graph) *undirected {
 			if b == a {
 				continue // self-loop already counted from Out
 			}
+			if _, seen := acc[b]; !seen {
+				keys = append(keys, b)
+			}
 			acc[b]++
 		}
-		for b, w := range acc {
-			u.adj[a] = append(u.adj[a], wedge{to: b, w: w})
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, b := range keys {
+			u.adj[a] = append(u.adj[a], wedge{to: b, w: acc[b]})
 		}
 	}
 	for a := int32(0); a < n; a++ {
@@ -95,9 +110,16 @@ func (u *undirected) aggregate(assign []int32, count int32) *undirected {
 			}
 		}
 	}
+	// Emit in sorted neighbour order for run-to-run reproducibility (see
+	// project).
 	for c := int32(0); c < count; c++ {
-		for b, w := range acc[c] {
-			out.adj[c] = append(out.adj[c], wedge{to: b, w: w})
+		keys := make([]int32, 0, len(acc[c]))
+		for b := range acc[c] {
+			keys = append(keys, b)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, b := range keys {
+			out.adj[c] = append(out.adj[c], wedge{to: b, w: acc[c][b]})
 		}
 	}
 	for c := int32(0); c < count; c++ {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lcrb/internal/diffusion"
@@ -42,6 +43,12 @@ type EvaluateOptions struct {
 // impartial judge used to compare solver outputs — solvers optimize their
 // own objectives, Evaluate reports what actually happens.
 func Evaluate(p *Problem, protectors []int32, opts EvaluateOptions) (*Evaluation, error) {
+	return EvaluateContext(context.Background(), p, protectors, opts)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation, forwarded to
+// the Monte-Carlo sweep (checked per sample and per hop).
+func EvaluateContext(ctx context.Context, p *Problem, protectors []int32, opts EvaluateOptions) (*Evaluation, error) {
 	if p == nil {
 		return nil, fmt.Errorf("core: evaluate: nil problem")
 	}
@@ -62,7 +69,7 @@ func Evaluate(p *Problem, protectors []int32, opts EvaluateOptions) (*Evaluation
 		Samples: opts.Samples,
 		Seed:    opts.Seed,
 		Workers: opts.Workers,
-	}.Run(p.Graph, p.Rumors, protectors, diffusion.Options{MaxHops: opts.MaxHops})
+	}.RunContext(ctx, p.Graph, p.Rumors, protectors, diffusion.Options{MaxHops: opts.MaxHops})
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluate: %w", err)
 	}

@@ -2,8 +2,11 @@ package core
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"lcrb/internal/bridge"
 	"lcrb/internal/diffusion"
@@ -12,6 +15,12 @@ import (
 
 // DefaultGreedyHops matches the paper's 31-hop OPOAO simulations.
 const DefaultGreedyHops = 31
+
+// ErrBudgetExhausted is returned (wrapped) by GreedyContext when the
+// MaxEvaluations or MaxDuration budget runs out before the protection
+// target is met. The accompanying GreedyResult is non-nil with Partial set:
+// the best-so-far seed set is still usable. Test with errors.Is.
+var ErrBudgetExhausted = errors.New("core: evaluation budget exhausted")
 
 // GreedyOptions tunes the LCRB-P greedy algorithm.
 type GreedyOptions struct {
@@ -48,6 +57,16 @@ type GreedyOptions struct {
 	// the greedy to the competitive Independent Cascade model (the
 	// paper's "other diffusion models" future-work direction).
 	Realization diffusion.Realization
+	// MaxEvaluations caps the number of σ̂ evaluations. 0 means unlimited.
+	// When the cap is hit mid-selection, the best-so-far seed set is
+	// returned with Partial set and an error wrapping ErrBudgetExhausted.
+	MaxEvaluations int
+	// MaxDuration caps the wall-clock time of the selection. 0 means
+	// unlimited. Expiry follows the same partial-result contract as
+	// MaxEvaluations. Prefer a context deadline when the caller already
+	// has one; MaxDuration exists for budgeting a single solve inside a
+	// longer-lived context.
+	MaxDuration time.Duration
 }
 
 // DefaultMaxCandidates bounds the greedy's default candidate pool. Every
@@ -74,6 +93,11 @@ type GreedyResult struct {
 	Evaluations int
 	// Gains records the marginal gain of each selected protector.
 	Gains []float64
+	// Partial reports that the selection stopped before reaching its
+	// target: the context was canceled, a budget expired, or a σ̂
+	// evaluation failed. The seed set selected so far is still valid —
+	// greedy selections are prefixes of the uninterrupted run.
+	Partial bool
 }
 
 // Greedy solves LCRB-P under the OPOAO model (algorithm 1): repeatedly add
@@ -89,6 +113,20 @@ type GreedyResult struct {
 // reached at all; the marginal gains, and hence the selection order, match
 // the paper's blocked-set definition of PB(A) exactly.
 func Greedy(p *Problem, opts GreedyOptions) (*GreedyResult, error) {
+	return GreedyContext(context.Background(), p, opts)
+}
+
+// GreedyContext is Greedy with cooperative cancellation and budgets. The
+// context is checked before every σ̂ evaluation and between the Monte-Carlo
+// samples inside one, so cancellation latency is one bounded diffusion.
+//
+// On interruption — ctx canceled, ctx deadline exceeded, or the
+// MaxEvaluations/MaxDuration budget exhausted — the best-so-far seed set is
+// returned as a non-nil *GreedyResult with Partial set, alongside an error
+// wrapping the cause (context.Canceled, context.DeadlineExceeded or
+// ErrBudgetExhausted). A failing σ̂ evaluation (for example from a broken
+// custom Realization) follows the same contract instead of panicking.
+func GreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*GreedyResult, error) {
 	if p == nil {
 		return nil, fmt.Errorf("core: greedy: nil problem")
 	}
@@ -131,33 +169,67 @@ func Greedy(p *Problem, opts GreedyOptions) (*GreedyResult, error) {
 	if realization == nil {
 		realization = diffusion.RunOPOAORealization
 	}
-	ev := &sigmaEvaluator{p: p, realSeeds: realSeeds, maxHops: opts.MaxHops, run: realization}
+	ev := &sigmaEvaluator{
+		ctx:       ctx,
+		p:         p,
+		realSeeds: realSeeds,
+		maxHops:   opts.MaxHops,
+		run:       realization,
+		maxEvals:  opts.MaxEvaluations,
+	}
+	if opts.MaxDuration > 0 {
+		ev.deadline = time.Now().Add(opts.MaxDuration)
+	}
 
 	res := &GreedyResult{}
-	baseline, err := ev.estimateErr(nil)
+	baseline, err := ev.estimate(nil)
 	if err != nil {
+		res.Evaluations = ev.evals
+		if isInterruption(err) {
+			// Interrupted before any selection: the empty seed set is the
+			// honest partial answer.
+			res.Partial = true
+			return res, fmt.Errorf("core: greedy: evaluate baseline: %w", err)
+		}
 		// Surfaces configuration problems (e.g. an invalid custom
 		// realization) before the selection loops, which assume the
 		// evaluator is sound.
 		return nil, fmt.Errorf("core: greedy: evaluate baseline: %w", err)
 	}
 	res.BaselineEnds = baseline
-	res.Evaluations++
 
 	target := float64(p.RequiredEnds(opts.Alpha))
 	score := res.BaselineEnds
 	selected := make([]int32, 0, maxProtectors)
 
+	var loopErr error
 	if opts.Plain {
-		res.plainLoop(ev, candidates, &selected, &score, target, maxProtectors)
+		loopErr = res.plainLoop(ev, candidates, &selected, &score, target, maxProtectors)
 	} else {
-		res.celfLoop(ev, candidates, &selected, &score, target, maxProtectors)
+		loopErr = res.celfLoop(ev, candidates, &selected, &score, target, maxProtectors)
 	}
 
 	res.Protectors = selected
 	res.ProtectedEnds = score
 	res.Achieved = score >= target
+	res.Evaluations = ev.evals
+	if loopErr != nil {
+		// Best-so-far seed set plus the cause: cancellation and budget
+		// expiry are expected operating conditions, not configuration
+		// errors, so the partial result travels with the error.
+		res.Partial = true
+		return res, fmt.Errorf("core: greedy: %w", loopErr)
+	}
 	return res, nil
+}
+
+// isInterruption reports whether err is an expected interruption —
+// cancellation, deadline, or budget expiry — rather than a configuration
+// or evaluation failure.
+func isInterruption(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrBudgetExhausted)
 }
 
 // greedyCandidates resolves the candidate pool.
@@ -207,25 +279,45 @@ func greedyCandidates(p *Problem, opts GreedyOptions) ([]int32, error) {
 	return out, nil
 }
 
-// sigmaEvaluator estimates σ̂(A) over the fixed realizations.
+// sigmaEvaluator estimates σ̂(A) over the fixed realizations, enforcing the
+// context and the evaluation/wall-clock budgets.
 type sigmaEvaluator struct {
+	ctx       context.Context
 	p         *Problem
 	realSeeds []uint64
 	maxHops   int
 	run       diffusion.Realization
+	evals     int       // σ̂ evaluations performed
+	maxEvals  int       // 0 = unlimited
+	deadline  time.Time // zero = no wall-clock budget
 }
 
-// estimateErr returns the mean number of bridge ends left uninfected when
-// the given protector seed set is used.
-func (ev *sigmaEvaluator) estimateErr(protectors []int32) (float64, error) {
+// estimate returns the mean number of bridge ends left uninfected when the
+// given protector seed set is used. It fails fast on cancellation, budget
+// expiry, or a realization error — callers receive the wrapped cause and
+// decide whether the partial selection is still useful.
+func (ev *sigmaEvaluator) estimate(protectors []int32) (float64, error) {
+	if err := ev.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if ev.maxEvals > 0 && ev.evals >= ev.maxEvals {
+		return 0, fmt.Errorf("%w: %d evaluations used", ErrBudgetExhausted, ev.evals)
+	}
+	if !ev.deadline.IsZero() && !time.Now().Before(ev.deadline) {
+		return 0, fmt.Errorf("%w: wall-clock budget spent after %d evaluations", ErrBudgetExhausted, ev.evals)
+	}
+	ev.evals++
 	var total int
-	for _, seed := range ev.realSeeds {
+	for i, seed := range ev.realSeeds {
+		if err := ev.ctx.Err(); err != nil {
+			return 0, err
+		}
 		res, err := ev.run(
 			ev.p.Graph, ev.p.Rumors, protectors, seed,
 			diffusion.Options{MaxHops: ev.maxHops},
 		)
 		if err != nil {
-			return 0, err
+			return 0, fmt.Errorf("core: sigma sample %d: %w", i, err)
 		}
 		for _, e := range ev.p.Ends {
 			if res.Status[e] != diffusion.Infected {
@@ -236,26 +328,18 @@ func (ev *sigmaEvaluator) estimateErr(protectors []int32) (float64, error) {
 	return float64(total) / float64(len(ev.realSeeds)), nil
 }
 
-// estimate is estimateErr for the selection loops, which run only after
-// the baseline evaluation validated the configuration; a failure here is a
-// programming error.
-func (ev *sigmaEvaluator) estimate(protectors []int32) float64 {
-	v, err := ev.estimateErr(protectors)
-	if err != nil {
-		panic("core: sigma evaluation failed: " + err.Error())
-	}
-	return v
-}
-
 // plainLoop is algorithm 1 verbatim: every remaining candidate is
-// re-evaluated in every round.
-func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) {
+// re-evaluated in every round. An evaluator failure stops the loop with the
+// selection made so far intact.
+func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) error {
 	remaining := append([]int32(nil), candidates...)
 	for *score < target && len(*selected) < maxProtectors && len(remaining) > 0 {
 		bestIdx, bestScore := -1, *score
 		for i, u := range remaining {
-			s := ev.estimate(append(*selected, u))
-			r.Evaluations++
+			s, err := ev.estimate(append(*selected, u))
+			if err != nil {
+				return err
+			}
 			if s > bestScore {
 				bestIdx, bestScore = i, s
 			}
@@ -268,12 +352,14 @@ func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selecte
 		*score = bestScore
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 	}
+	return nil
 }
 
 // celfLoop exploits submodularity: a candidate's previous marginal gain is
 // an upper bound on its current one, so candidates are kept in a max-heap
-// of stale gains and only re-evaluated when they surface.
-func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) {
+// of stale gains and only re-evaluated when they surface. An evaluator
+// failure stops the loop with the selection made so far intact.
+func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) error {
 	pq := make(celfQueue, len(candidates))
 	for i, u := range candidates {
 		// Infinity as the initial stale gain forces one evaluation each.
@@ -295,12 +381,15 @@ func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected
 			round++
 			continue
 		}
-		s := ev.estimate(append(*selected, top.node))
-		r.Evaluations++
+		s, err := ev.estimate(append(*selected, top.node))
+		if err != nil {
+			return err
+		}
 		top.gain = s - *score
 		top.round = round
 		heap.Push(&pq, top)
 	}
+	return nil
 }
 
 // celfEntry is a CELF priority-queue entry.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -51,6 +52,15 @@ var ErrNoBridgeEnds = errors.New("core: instance has no bridge ends")
 // is covered. Achieves the O(ln n) approximation that is optimal for
 // LCRB-D unless P = NP (Theorems 2 and 3).
 func SCBG(p *Problem, opts SCBGOptions) (*SCBGResult, error) {
+	return SCBGContext(context.Background(), p, opts)
+}
+
+// SCBGContext is SCBG with cooperative cancellation: the context is checked
+// before the BBST construction and once per set-cover selection round. On
+// cancellation the wrapped context error is returned; unlike GreedyContext
+// there is no partial-result contract here because SCBG is fast enough that
+// a partial cover is rarely worth reporting — rerun with a live context.
+func SCBGContext(ctx context.Context, p *Problem, opts SCBGOptions) (*SCBGResult, error) {
 	if p == nil {
 		return nil, fmt.Errorf("core: SCBG: nil problem")
 	}
@@ -64,6 +74,9 @@ func SCBG(p *Problem, opts SCBGOptions) (*SCBGResult, error) {
 		return nil, ErrNoBridgeEnds
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: SCBG: %w", err)
+	}
 	trees, err := bridge.Build(p.Graph, p.Rumors, p.Ends)
 	if err != nil {
 		return nil, fmt.Errorf("core: SCBG: build BBSTs: %w", err)
@@ -81,7 +94,7 @@ func SCBG(p *Problem, opts SCBGOptions) (*SCBGResult, error) {
 		}
 	}
 	need := p.RequiredEnds(opts.Alpha)
-	sol, err := setcover.GreedyPartial(in, need)
+	sol, err := setcover.GreedyPartialContext(ctx, in, need)
 	if err != nil && !errors.Is(err, setcover.ErrUncoverable) {
 		return nil, fmt.Errorf("core: SCBG: set cover: %w", err)
 	}

@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,13 +21,18 @@ type CompetitiveIC struct {
 	P float64
 }
 
-var _ Model = CompetitiveIC{}
+var _ ContextModel = CompetitiveIC{}
 
 // Name implements Model.
 func (m CompetitiveIC) Name() string { return fmt.Sprintf("IC(p=%g)", m.P) }
 
 // Run implements Model.
 func (m CompetitiveIC) Run(g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
+	return m.RunContext(context.Background(), g, rumors, protectors, src, opts)
+}
+
+// RunContext implements ContextModel: Run with per-hop cancellation checks.
+func (m CompetitiveIC) RunContext(ctx context.Context, g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
 	if src == nil {
 		return nil, errors.New("diffusion: CompetitiveIC requires a random source")
 	}
@@ -58,6 +64,9 @@ func (m CompetitiveIC) Run(g *graph.Graph, rumors, protectors []int32, src *rng.
 	maxHops := opts.maxHops()
 	hop := 0
 	for ; hop < maxHops && (len(frontierP) > 0 || len(frontierR) > 0); hop++ {
+		if err := checkHop(ctx, m.Name(), hop); err != nil {
+			return nil, err
+		}
 		nextP, nextR = nextP[:0], nextR[:0]
 		for _, u := range frontierP {
 			for _, v := range g.Out(u) {
@@ -97,13 +106,18 @@ func (m CompetitiveIC) Run(g *graph.Graph, rumors, protectors []int32, src *rng.
 // to P, per the paper's priority rule).
 type CompetitiveLT struct{}
 
-var _ Model = CompetitiveLT{}
+var _ ContextModel = CompetitiveLT{}
 
 // Name implements Model.
 func (CompetitiveLT) Name() string { return "CLT" }
 
 // Run implements Model.
-func (CompetitiveLT) Run(g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
+func (m CompetitiveLT) Run(g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
+	return m.RunContext(context.Background(), g, rumors, protectors, src, opts)
+}
+
+// RunContext implements ContextModel: Run with per-hop cancellation checks.
+func (CompetitiveLT) RunContext(ctx context.Context, g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
 	if src == nil {
 		return nil, errors.New("diffusion: CompetitiveLT requires a random source")
 	}
@@ -144,6 +158,9 @@ func (CompetitiveLT) Run(g *graph.Graph, rumors, protectors []int32, src *rng.So
 	maxHops := opts.maxHops()
 	hop := 0
 	for ; hop < maxHops && len(frontier) > 0; hop++ {
+		if err := checkHop(ctx, "CLT", hop); err != nil {
+			return nil, err
+		}
 		next = next[:0]
 		// Push the frontier's influence onto inactive neighbours...
 		for _, u := range frontier {

@@ -13,6 +13,7 @@
 package diffusion
 
 import (
+	"context"
 	"fmt"
 
 	"lcrb/internal/graph"
@@ -108,6 +109,42 @@ type Model interface {
 	// (nil is allowed for them). Seed sets should be disjoint; nodes
 	// present in both are protected, per the P-priority rule.
 	Run(g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error)
+}
+
+// ContextModel is a Model whose step loop honors context cancellation: a
+// canceled context makes RunContext return promptly with an error wrapping
+// ctx.Err(). A completed RunContext run is bit-identical to Run with the
+// same source. All models in this package implement it.
+type ContextModel interface {
+	Model
+	// RunContext is Run with per-hop cancellation checks.
+	RunContext(ctx context.Context, g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error)
+}
+
+// RunModel runs m under ctx, routing through RunContext when the model
+// supports it. Models without context support are run to completion after
+// an up-front cancellation check; their bounded step loops keep the latency
+// of a missed cancellation finite.
+func RunModel(ctx context.Context, m Model, g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
+	if m == nil {
+		return nil, fmt.Errorf("diffusion: run: nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("diffusion: %s: %w", m.Name(), err)
+	}
+	if cm, ok := m.(ContextModel); ok {
+		return cm.RunContext(ctx, g, rumors, protectors, src, opts)
+	}
+	return m.Run(g, rumors, protectors, src, opts)
+}
+
+// checkHop reports cancellation from inside a model's step loop, naming the
+// model and the hop reached so operators can see how far the run got.
+func checkHop(ctx context.Context, name string, hop int) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("diffusion: %s: canceled at hop %d: %w", name, hop, err)
+	}
+	return nil
 }
 
 // seedState validates the seed sets and returns the initial status array.

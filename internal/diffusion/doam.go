@@ -1,6 +1,8 @@
 package diffusion
 
 import (
+	"context"
+
 	"lcrb/internal/graph"
 	"lcrb/internal/rng"
 )
@@ -13,13 +15,18 @@ import (
 // deterministic, so it ignores the random source.
 type DOAM struct{}
 
-var _ Model = DOAM{}
+var _ ContextModel = DOAM{}
 
 // Name implements Model.
 func (DOAM) Name() string { return "DOAM" }
 
 // Run implements Model. src is unused and may be nil.
-func (DOAM) Run(g *graph.Graph, rumors, protectors []int32, _ *rng.Source, opts Options) (*Result, error) {
+func (m DOAM) Run(g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
+	return m.RunContext(context.Background(), g, rumors, protectors, src, opts)
+}
+
+// RunContext implements ContextModel: Run with per-hop cancellation checks.
+func (DOAM) RunContext(ctx context.Context, g *graph.Graph, rumors, protectors []int32, _ *rng.Source, opts Options) (*Result, error) {
 	status, err := seedState(g, rumors, protectors)
 	if err != nil {
 		return nil, err
@@ -45,6 +52,9 @@ func (DOAM) Run(g *graph.Graph, rumors, protectors []int32, _ *rng.Source, opts 
 	maxHops := opts.maxHops()
 	hop := 0
 	for ; hop < maxHops && (len(frontierP) > 0 || len(frontierR) > 0); hop++ {
+		if err := checkHop(ctx, "DOAM", hop); err != nil {
+			return nil, err
+		}
 		nextP, nextR = nextP[:0], nextR[:0]
 		// Protector frontier first: P claims every inactive neighbour it
 		// touches, so simultaneous arrivals resolve in P's favour.

@@ -1,13 +1,21 @@
 package diffusion
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"lcrb/internal/graph"
 	"lcrb/internal/rng"
 )
+
+// ErrPanic is wrapped into the error returned by MonteCarlo when a model
+// panics inside a sample worker: the panic is recovered and contained
+// instead of tearing down the process. Test with errors.Is.
+var ErrPanic = errors.New("diffusion: model panicked")
 
 // MonteCarlo repeatedly runs a stochastic model and averages the results.
 // Deterministic models work too (every sample is then identical).
@@ -49,11 +57,30 @@ type Aggregate struct {
 // Options.Observer, when set, is invoked from multiple goroutines in that
 // case and must be safe for concurrent use.
 func (mc MonteCarlo) Run(g *graph.Graph, rumors, protectors []int32, opts Options) (*Aggregate, error) {
+	return mc.RunContext(context.Background(), g, rumors, protectors, opts)
+}
+
+// RunContext is Run with cooperative cancellation and panic containment:
+//
+//   - Cancellation is checked between samples (and inside each sample's
+//     step loop for the models of this package), so a canceled context
+//     returns promptly with an error wrapping ctx.Err(). All worker
+//     goroutines are joined before RunContext returns — no leaks.
+//   - A panicking model is recovered into an error wrapping ErrPanic
+//     (with the panic value and stack) instead of crashing the process.
+//   - A failure in any worker cancels the remaining workers' samples, so
+//     the first real error surfaces without waiting for the full sweep.
+//
+// Completed runs are bit-identical to Run regardless of worker count.
+func (mc MonteCarlo) RunContext(ctx context.Context, g *graph.Graph, rumors, protectors []int32, opts Options) (*Aggregate, error) {
 	if mc.Model == nil {
 		return nil, fmt.Errorf("diffusion: MonteCarlo requires a model")
 	}
 	if mc.Samples <= 0 {
 		return nil, fmt.Errorf("diffusion: MonteCarlo samples = %d must be positive", mc.Samples)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("diffusion: MonteCarlo: %w", err)
 	}
 	// Per-sample stream seeds. rng.New(seeds[i]) reproduces the stream the
 	// serial implementation would have obtained from base.Split().
@@ -74,6 +101,11 @@ func (mc MonteCarlo) Run(g *graph.Graph, rumors, protectors []int32, opts Option
 		workers = mc.Samples
 	}
 
+	// A failing worker cancels its siblings; they stop at their next
+	// sample boundary instead of finishing the sweep.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	partials := make([]*Aggregate, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -82,14 +114,21 @@ func (mc MonteCarlo) Run(g *graph.Graph, rumors, protectors []int32, opts Option
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			partials[w], errs[w] = mc.runChunk(g, rumors, protectors, opts, seeds, w, workers)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("diffusion: sample worker %d: %w: %v\n%s", w, ErrPanic, r, debug.Stack())
+					cancel()
+				}
+			}()
+			partials[w], errs[w] = mc.runChunk(ctx, g, rumors, protectors, opts, seeds, w, workers)
+			if errs[w] != nil {
+				cancel()
+			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 
 	agg := newAggregate(mc.Samples, g.NumNodes(), opts)
@@ -117,6 +156,27 @@ func (mc MonteCarlo) Run(g *graph.Graph, rumors, protectors []int32, opts Option
 	return agg, nil
 }
 
+// firstError picks the error to surface from a worker sweep: the first
+// genuine failure by worker index, falling back to the first cancellation
+// error. Cancellation errors rank last because a real failure cancels the
+// sibling workers — their ctx errors are fallout, not the cause.
+func firstError(errs []error) error {
+	var cancelErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelErr == nil {
+				cancelErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return cancelErr
+}
+
 // newAggregate allocates an aggregate with the right series lengths.
 func newAggregate(samples int, numNodes int32, opts Options) *Aggregate {
 	agg := &Aggregate{
@@ -132,11 +192,15 @@ func newAggregate(samples int, numNodes int32, opts Options) *Aggregate {
 }
 
 // runChunk accumulates (without normalizing) every sample whose index is
-// congruent to offset modulo stride.
-func (mc MonteCarlo) runChunk(g *graph.Graph, rumors, protectors []int32, opts Options, seeds []uint64, offset, stride int) (*Aggregate, error) {
+// congruent to offset modulo stride, checking for cancellation at every
+// sample boundary.
+func (mc MonteCarlo) runChunk(ctx context.Context, g *graph.Graph, rumors, protectors []int32, opts Options, seeds []uint64, offset, stride int) (*Aggregate, error) {
 	agg := newAggregate(0, g.NumNodes(), opts)
 	for i := offset; i < len(seeds); i += stride {
-		res, err := mc.Model.Run(g, rumors, protectors, rng.New(seeds[i]), opts)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("diffusion: sample %d: %w", i, err)
+		}
+		res, err := RunModel(ctx, mc.Model, g, rumors, protectors, rng.New(seeds[i]), opts)
 		if err != nil {
 			return nil, fmt.Errorf("diffusion: sample %d: %w", i, err)
 		}

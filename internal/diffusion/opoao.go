@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"context"
 	"errors"
 
 	"lcrb/internal/graph"
@@ -15,20 +16,25 @@ import (
 // target. The process is the paper's person-to-person contact mechanism.
 type OPOAO struct{}
 
-var _ Model = OPOAO{}
+var _ ContextModel = OPOAO{}
 
 // Name implements Model.
 func (OPOAO) Name() string { return "OPOAO" }
 
 // Run implements Model. It requires a non-nil random source.
-func (OPOAO) Run(g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
+func (m OPOAO) Run(g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
+	return m.RunContext(context.Background(), g, rumors, protectors, src, opts)
+}
+
+// RunContext implements ContextModel: Run with per-hop cancellation checks.
+func (OPOAO) RunContext(ctx context.Context, g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
 	if src == nil {
 		return nil, errors.New("diffusion: OPOAO requires a random source")
 	}
 	chooser := func(u int32, step int32, deg int32) int32 {
 		return src.Int32n(deg)
 	}
-	return runOPOAO(g, rumors, protectors, chooser, opts)
+	return runOPOAO(ctx, g, rumors, protectors, chooser, opts)
 }
 
 // RunOPOAORealization simulates OPOAO under a fixed realization of the
@@ -42,7 +48,7 @@ func RunOPOAORealization(g *graph.Graph, rumors, protectors []int32, realSeed ui
 	chooser := func(u int32, step int32, deg int32) int32 {
 		return fixedChoice(realSeed, u, step, deg)
 	}
-	return runOPOAO(g, rumors, protectors, chooser, opts)
+	return runOPOAO(context.Background(), g, rumors, protectors, chooser, opts)
 }
 
 // fixedChoice hashes (seed, node, step) into a choice in [0, deg) with a
@@ -59,7 +65,7 @@ func fixedChoice(seed uint64, u, step, deg int32) int32 {
 
 // runOPOAO is the shared engine. chooser(u, step, deg) returns the index of
 // the out-neighbour u targets at the given step.
-func runOPOAO(g *graph.Graph, rumors, protectors []int32, chooser func(u, step, deg int32) int32, opts Options) (*Result, error) {
+func runOPOAO(ctx context.Context, g *graph.Graph, rumors, protectors []int32, chooser func(u, step, deg int32) int32, opts Options) (*Result, error) {
 	status, err := seedState(g, rumors, protectors)
 	if err != nil {
 		return nil, err
@@ -99,6 +105,9 @@ func runOPOAO(g *graph.Graph, rumors, protectors []int32, chooser func(u, step, 
 	maxHops := opts.maxHops()
 	hop := 0
 	for ; hop < maxHops && int32(len(active)) < potential; hop++ {
+		if err := checkHop(ctx, "OPOAO", hop); err != nil {
+			return nil, err
+		}
 		step := int32(hop + 1)
 		newlyActive = newlyActive[:0]
 		for _, u := range active {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -42,6 +43,13 @@ type AlphaSweep struct {
 // RunAlphaSweep solves LCRB-P on the instance for each protection level
 // and measures the realized infections of each solution.
 func RunAlphaSweep(inst *Instance, alphas []float64) (*AlphaSweep, error) {
+	return RunAlphaSweepContext(context.Background(), inst, alphas)
+}
+
+// RunAlphaSweepContext is RunAlphaSweep with cooperative cancellation,
+// checked per protection level and forwarded to the greedy and the
+// Monte-Carlo evaluations.
+func RunAlphaSweepContext(ctx context.Context, inst *Instance, alphas []float64) (*AlphaSweep, error) {
 	cfg := inst.Config
 	src := rng.New(cfg.Seed + 9)
 	rumors := inst.drawRumors(cfg.RumorFractions[0], src)
@@ -54,7 +62,10 @@ func RunAlphaSweep(inst *Instance, alphas []float64) (*AlphaSweep, error) {
 		return nil, fmt.Errorf("experiment: alpha sweep: no bridge ends")
 	}
 	for _, alpha := range alphas {
-		res, err := core.Greedy(prob, core.GreedyOptions{
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: alpha sweep: %w", err)
+		}
+		res, err := core.GreedyContext(ctx, prob, core.GreedyOptions{
 			Alpha:   alpha,
 			Samples: cfg.GreedySamples,
 			Seed:    cfg.Seed + 10,
@@ -67,7 +78,7 @@ func RunAlphaSweep(inst *Instance, alphas []float64) (*AlphaSweep, error) {
 			Model:   diffusion.OPOAO{},
 			Samples: cfg.MCSamples,
 			Seed:    cfg.Seed + 11,
-		}.Run(inst.Net.Graph, rumors, res.Protectors, diffusion.Options{MaxHops: cfg.Hops})
+		}.RunContext(ctx, inst.Net.Graph, rumors, res.Protectors, diffusion.Options{MaxHops: cfg.Hops})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: alpha sweep: simulate: %w", err)
 		}
@@ -124,6 +135,12 @@ type DetectorRow struct {
 // RunDetectorAblation runs the bridge-end + SCBG pipeline behind both
 // community detectors on the same network.
 func RunDetectorAblation(cfg Config) (*DetectorAblation, error) {
+	return RunDetectorAblationContext(context.Background(), cfg)
+}
+
+// RunDetectorAblationContext is RunDetectorAblation with cooperative
+// cancellation, checked between the two detector pipelines.
+func RunDetectorAblationContext(ctx context.Context, cfg Config) (*DetectorAblation, error) {
 	cfg = cfg.withDefaults()
 	louvainCfg := cfg
 	louvainCfg.UseLabelProp = false
@@ -143,6 +160,9 @@ func RunDetectorAblation(cfg Config) (*DetectorAblation, error) {
 		NMI:    community.NMI(louvain.Part, lp.Part),
 	}
 	for _, inst := range []*Instance{louvain, lp} {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: detector ablation: %w", err)
+		}
 		name := "louvain"
 		if inst.Config.UseLabelProp {
 			name = "labelprop"
@@ -161,7 +181,7 @@ func RunDetectorAblation(cfg Config) (*DetectorAblation, error) {
 			NumEnds:     prob.NumEnds(),
 		}
 		if prob.NumEnds() > 0 {
-			if sres, err := core.SCBG(prob, core.SCBGOptions{}); sres != nil {
+			if sres, err := core.SCBGContext(ctx, prob, core.SCBGOptions{}); sres != nil {
 				row.SCBGSeeds = len(sres.Protectors)
 			} else if err != nil {
 				return nil, fmt.Errorf("experiment: detector ablation (%s): %w", name, err)

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"lcrb/internal/graph"
@@ -129,21 +130,22 @@ func TestMinPrefixProtecting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := minPrefixProtecting(g, []int32{0}, []int32{2}, []int32{5, 1})
-	if got != 2 {
-		t.Fatalf("minPrefixProtecting = %d, want 2", got)
+	ctx := context.Background()
+	got, err := minPrefixProtecting(ctx, g, []int32{0}, []int32{2}, []int32{5, 1})
+	if err != nil || got != 2 {
+		t.Fatalf("minPrefixProtecting = %d, %v, want 2", got, err)
 	}
 	// Rank starting with the blocker needs just 1.
-	if got := minPrefixProtecting(g, []int32{0}, []int32{2}, []int32{1, 5}); got != 1 {
-		t.Fatalf("minPrefixProtecting = %d, want 1", got)
+	if got, err := minPrefixProtecting(ctx, g, []int32{0}, []int32{2}, []int32{1, 5}); err != nil || got != 1 {
+		t.Fatalf("minPrefixProtecting = %d, %v, want 1", got, err)
 	}
 	// No ends: zero protectors needed.
-	if got := minPrefixProtecting(g, []int32{0}, nil, []int32{1}); got != 0 {
-		t.Fatalf("no-ends prefix = %d, want 0", got)
+	if got, err := minPrefixProtecting(ctx, g, []int32{0}, nil, []int32{1}); err != nil || got != 0 {
+		t.Fatalf("no-ends prefix = %d, %v, want 0", got, err)
 	}
 	// Insufficient ranking: len(rank)+1 signals failure.
-	if got := minPrefixProtecting(g, []int32{0}, []int32{2}, []int32{5}); got != 2 {
-		t.Fatalf("short-rank prefix = %d, want len(rank)+1 = 2", got)
+	if got, err := minPrefixProtecting(ctx, g, []int32{0}, []int32{2}, []int32{5}); err != nil || got != 2 {
+		t.Fatalf("short-rank prefix = %d, %v, want len(rank)+1 = 2", got, err)
 	}
 }
 
@@ -162,8 +164,8 @@ func TestMinPrefixProtectingLongRank(t *testing.T) {
 		rank = append(rank, i) // isolated, useless nodes
 	}
 	rank = append(rank, 1) // the blocker, at position 10
-	if got := minPrefixProtecting(g, []int32{0}, []int32{2}, rank); got != 10 {
-		t.Fatalf("prefix = %d, want 10", got)
+	if got, err := minPrefixProtecting(context.Background(), g, []int32{0}, []int32{2}, rank); err != nil || got != 10 {
+		t.Fatalf("prefix = %d, %v, want 10", got, err)
 	}
 }
 

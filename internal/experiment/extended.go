@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -37,6 +38,13 @@ type ExtendedComparison struct {
 // RunExtendedComparison runs the roster on the instance. The budget is the
 // SCBG solution size, as in the paper's Figures 7-9 protocol.
 func RunExtendedComparison(inst *Instance) (*ExtendedComparison, error) {
+	return RunExtendedComparisonContext(context.Background(), inst)
+}
+
+// RunExtendedComparisonContext is RunExtendedComparison with cooperative
+// cancellation, forwarded to SCBG, every selector, the GVS greedy (the
+// expensive stage), and the DOAM simulations.
+func RunExtendedComparisonContext(ctx context.Context, inst *Instance) (*ExtendedComparison, error) {
 	cfg := inst.Config
 	src := rng.New(cfg.Seed + 16)
 	rumors := inst.drawRumors(cfg.RumorFractions[0], src)
@@ -47,7 +55,7 @@ func RunExtendedComparison(inst *Instance) (*ExtendedComparison, error) {
 	if prob.NumEnds() == 0 {
 		return nil, fmt.Errorf("experiment: extended: no bridge ends")
 	}
-	sres, err := core.SCBG(prob, core.SCBGOptions{})
+	sres, err := core.SCBGContext(ctx, prob, core.SCBGOptions{})
 	if err != nil && !errors.Is(err, core.ErrNoBridgeEnds) &&
 		(sres == nil || sres.UncoverableEnds == 0) {
 		return nil, fmt.Errorf("experiment: extended: scbg: %w", err)
@@ -71,7 +79,7 @@ func RunExtendedComparison(inst *Instance) (*ExtendedComparison, error) {
 		heuristic.Proximity{}, heuristic.MaxDegree{}, heuristic.DegreeDiscount{},
 		heuristic.PageRank{}, heuristic.Random{},
 	} {
-		seeds, err := heuristic.Select(sel, hctx, budget, src.Split())
+		seeds, err := heuristic.SelectContext(ctx, sel, hctx, budget, src.Split())
 		if err != nil {
 			return nil, fmt.Errorf("experiment: extended: %s: %w", sel.Name(), err)
 		}
@@ -83,7 +91,7 @@ func RunExtendedComparison(inst *Instance) (*ExtendedComparison, error) {
 	gvsSeeds, err := heuristic.GVS{
 		Seed:          cfg.Seed + 17,
 		MaxCandidates: 120,
-	}.Select(hctx, budget)
+	}.SelectContext(ctx, hctx, budget)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: extended: gvs: %w", err)
 	}
@@ -93,7 +101,7 @@ func RunExtendedComparison(inst *Instance) (*ExtendedComparison, error) {
 	}{"GVS", gvsSeeds})
 
 	for _, set := range seedSets {
-		sim, err := diffusion.DOAM{}.Run(inst.Net.Graph, rumors, set.seeds, nil, diffusion.Options{})
+		sim, err := diffusion.DOAM{}.RunContext(ctx, inst.Net.Graph, rumors, set.seeds, nil, diffusion.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: extended: simulate %s: %w", set.name, err)
 		}

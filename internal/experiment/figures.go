@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -50,10 +51,19 @@ type FigureResult struct {
 // rumor originators"), and the mean number of infected nodes per hop under
 // OPOAO is recorded over MCSamples Monte-Carlo runs.
 func RunFigureOPOAO(inst *Instance) (*FigureResult, error) {
+	return RunFigureOPOAOContext(context.Background(), inst)
+}
+
+// RunFigureOPOAOContext is RunFigureOPOAO with cooperative cancellation,
+// checked per panel and forwarded to the greedy and the Monte-Carlo sweeps.
+func RunFigureOPOAOContext(ctx context.Context, inst *Instance) (*FigureResult, error) {
 	cfg := inst.Config
 	out := &FigureResult{Config: cfg}
 	src := rng.New(cfg.Seed + 2)
 	for _, frac := range cfg.RumorFractions {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
+		}
 		rumors := inst.drawRumors(frac, src)
 		prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
 		if err != nil {
@@ -73,7 +83,7 @@ func RunFigureOPOAO(inst *Instance) (*FigureResult, error) {
 		// Greedy (LCRB-P) under the protector budget.
 		var greedySeeds []int32
 		if prob.NumEnds() > 0 {
-			gres, err := core.Greedy(prob, core.GreedyOptions{
+			gres, err := core.GreedyContext(ctx, prob, core.GreedyOptions{
 				Alpha:         0.99,
 				Samples:       cfg.GreedySamples,
 				Seed:          cfg.Seed + 3,
@@ -99,7 +109,7 @@ func RunFigureOPOAO(inst *Instance) (*FigureResult, error) {
 			AlgoNoBlocking: nil,
 		}
 		for _, sel := range []heuristic.Selector{heuristic.Proximity{}, heuristic.MaxDegree{}} {
-			seeds, err := heuristic.Select(sel, hctx, k, src.Split())
+			seeds, err := heuristic.SelectContext(ctx, sel, hctx, k, src.Split())
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
 			}
@@ -111,7 +121,7 @@ func RunFigureOPOAO(inst *Instance) (*FigureResult, error) {
 				Model:   diffusion.OPOAO{},
 				Samples: cfg.MCSamples,
 				Seed:    cfg.Seed + 4,
-			}.Run(inst.Net.Graph, rumors, protectors, diffusion.Options{
+			}.RunContext(ctx, inst.Net.Graph, rumors, protectors, diffusion.Options{
 				MaxHops:    cfg.Hops,
 				RecordHops: true,
 			})
@@ -130,10 +140,19 @@ func RunFigureOPOAO(inst *Instance) (*FigureResult, error) {
 // is the size of the SCBG solution; the heuristics draw that many seeds at
 // random from their own full solutions, exactly as in the paper's setup.
 func RunFigureDOAM(inst *Instance) (*FigureResult, error) {
+	return RunFigureDOAMContext(context.Background(), inst)
+}
+
+// RunFigureDOAMContext is RunFigureDOAM with cooperative cancellation,
+// checked per panel and forwarded to SCBG and the DOAM simulations.
+func RunFigureDOAMContext(ctx context.Context, inst *Instance) (*FigureResult, error) {
 	cfg := inst.Config
 	out := &FigureResult{Config: cfg}
 	src := rng.New(cfg.Seed + 5)
 	for _, frac := range cfg.RumorFractions {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
+		}
 		rumors := inst.drawRumors(frac, src)
 		prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
 		if err != nil {
@@ -149,7 +168,7 @@ func RunFigureDOAM(inst *Instance) (*FigureResult, error) {
 
 		var scbgSeeds []int32
 		if prob.NumEnds() > 0 {
-			sres, err := core.SCBG(prob, core.SCBGOptions{})
+			sres, err := core.SCBGContext(ctx, prob, core.SCBGOptions{})
 			if err != nil && !errors.Is(err, core.ErrNoBridgeEnds) {
 				// A partially-coverable instance still yields a usable
 				// (partial) seed set.
@@ -182,12 +201,20 @@ func RunFigureDOAM(inst *Instance) (*FigureResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
 			}
-			solution := rank[:minPrefixProtecting(inst.Net.Graph, rumors, prob.Ends, rank)]
-			seedSets[sel.Name()] = sampleSubset(solution, budget, src.Split())
+			need, err := minPrefixProtecting(ctx, inst.Net.Graph, rumors, prob.Ends, rank)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s: %s solution size: %w", cfg.Name, sel.Name(), err)
+			}
+			if need > len(rank) {
+				// The full ranking cannot protect everything; its whole
+				// length is the heuristic's solution.
+				need = len(rank)
+			}
+			seedSets[sel.Name()] = sampleSubset(rank[:need], budget, src.Split())
 		}
 
 		for name, protectors := range seedSets {
-			res, err := diffusion.DOAM{}.Run(inst.Net.Graph, rumors, protectors, nil, diffusion.Options{
+			res, err := diffusion.DOAM{}.RunContext(ctx, inst.Net.Graph, rumors, protectors, nil, diffusion.Options{
 				MaxHops:    cfg.Hops,
 				RecordHops: true,
 			})

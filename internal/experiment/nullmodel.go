@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -42,6 +43,13 @@ type NullModelAblation struct {
 // RunNullModelAblation runs the comparison. The rewired side re-detects
 // communities (Louvain finds only weak ones) and re-runs the pipeline.
 func RunNullModelAblation(cfg Config, rewire func(*graph.Graph, uint64) (*graph.Graph, error)) (*NullModelAblation, error) {
+	return RunNullModelAblationContext(context.Background(), cfg, rewire)
+}
+
+// RunNullModelAblationContext is RunNullModelAblation with cooperative
+// cancellation, checked per side and forwarded to SCBG and the DOAM
+// simulations.
+func RunNullModelAblationContext(ctx context.Context, cfg Config, rewire func(*graph.Graph, uint64) (*graph.Graph, error)) (*NullModelAblation, error) {
 	cfg = cfg.withDefaults()
 	inst, err := Setup(cfg)
 	if err != nil {
@@ -64,6 +72,9 @@ func RunNullModelAblation(cfg Config, rewire func(*graph.Graph, uint64) (*graph.
 		{"rewired", rewired, rewiredPart},
 	}
 	for _, side := range sides {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: null model: %w", err)
+		}
 		comm := side.part.ClosestBySize(cfg.scaledCommunityTarget())
 		members := side.part.Members(comm)
 		src := rng.New(cfg.Seed + 15)
@@ -87,7 +98,7 @@ func RunNullModelAblation(cfg Config, rewire func(*graph.Graph, uint64) (*graph.
 		}
 		var protectors []int32
 		if prob.NumEnds() > 0 {
-			sres, err := core.SCBG(prob, core.SCBGOptions{})
+			sres, err := core.SCBGContext(ctx, prob, core.SCBGOptions{})
 			if err != nil && !errors.Is(err, core.ErrNoBridgeEnds) &&
 				(sres == nil || sres.UncoverableEnds == 0) {
 				return nil, fmt.Errorf("experiment: null model (%s): %w", side.name, err)
@@ -98,11 +109,11 @@ func RunNullModelAblation(cfg Config, rewire func(*graph.Graph, uint64) (*graph.
 		}
 		row.Protectors = len(protectors)
 
-		blocked, err := diffusion.DOAM{}.Run(side.g, rumors, protectors, nil, diffusion.Options{})
+		blocked, err := diffusion.DOAM{}.RunContext(ctx, side.g, rumors, protectors, nil, diffusion.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: null model (%s): %w", side.name, err)
 		}
-		open, err := diffusion.DOAM{}.Run(side.g, rumors, nil, nil, diffusion.Options{})
+		open, err := diffusion.DOAM{}.RunContext(ctx, side.g, rumors, nil, nil, diffusion.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: null model (%s): %w", side.name, err)
 		}

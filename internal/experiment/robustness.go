@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -41,6 +42,13 @@ type NoiseAblation struct {
 // RunNoiseAblation sweeps the given noise levels (0 = the detector's own
 // partition).
 func RunNoiseAblation(inst *Instance, noiseLevels []float64) (*NoiseAblation, error) {
+	return RunNoiseAblationContext(context.Background(), inst, noiseLevels)
+}
+
+// RunNoiseAblationContext is RunNoiseAblation with cooperative
+// cancellation, checked per noise level and forwarded to SCBG and the
+// DOAM simulations.
+func RunNoiseAblationContext(ctx context.Context, inst *Instance, noiseLevels []float64) (*NoiseAblation, error) {
 	cfg := inst.Config
 	src := rng.New(cfg.Seed + 13)
 	rumors := inst.drawRumors(cfg.RumorFractions[0], src)
@@ -56,6 +64,9 @@ func RunNoiseAblation(inst *Instance, noiseLevels []float64) (*NoiseAblation, er
 
 	numComms := inst.Part.Count()
 	for _, noise := range noiseLevels {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: noise ablation: %w", err)
+		}
 		if noise < 0 || noise > 1 {
 			return nil, fmt.Errorf("experiment: noise ablation: level %v out of [0,1]", noise)
 		}
@@ -76,7 +87,7 @@ func RunNoiseAblation(inst *Instance, noiseLevels []float64) (*NoiseAblation, er
 
 		var protectors []int32
 		if noisyProb.NumEnds() > 0 {
-			sres, err := core.SCBG(noisyProb, core.SCBGOptions{})
+			sres, err := core.SCBGContext(ctx, noisyProb, core.SCBGOptions{})
 			if err != nil && !errors.Is(err, core.ErrNoBridgeEnds) &&
 				(sres == nil || sres.UncoverableEnds == 0) {
 				return nil, fmt.Errorf("experiment: noise ablation (%.2f): %w", noise, err)
@@ -87,7 +98,7 @@ func RunNoiseAblation(inst *Instance, noiseLevels []float64) (*NoiseAblation, er
 		}
 		row.Protectors = len(protectors)
 
-		sim, err := diffusion.DOAM{}.Run(inst.Net.Graph, rumors, protectors, nil, diffusion.Options{})
+		sim, err := diffusion.DOAM{}.RunContext(ctx, inst.Net.Graph, rumors, protectors, nil, diffusion.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: noise ablation (%.2f): simulate: %w", noise, err)
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -47,12 +48,21 @@ type TableResult struct {
 // protectors each algorithm selects so that *all* bridge ends are protected
 // under the DOAM model.
 func RunTable(inst *Instance) (*TableResult, error) {
+	return RunTableContext(context.Background(), inst)
+}
+
+// RunTableContext is RunTable with cooperative cancellation, checked per
+// trial and forwarded to SCBG and the DOAM protection checks.
+func RunTableContext(ctx context.Context, inst *Instance) (*TableResult, error) {
 	cfg := inst.Config
 	out := &TableResult{Config: cfg}
 	src := rng.New(cfg.Seed + 6)
 	for _, frac := range cfg.RumorFractions {
 		row := TableRow{RumorFraction: frac, Trials: cfg.Trials}
 		for trial := 0; trial < cfg.Trials; trial++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
+			}
 			rumors := inst.drawRumors(frac, src)
 			row.NumRumors = len(rumors)
 			prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
@@ -64,7 +74,7 @@ func RunTable(inst *Instance) (*TableResult, error) {
 				continue // nothing to protect: all costs are zero
 			}
 
-			sres, err := core.SCBG(prob, core.SCBGOptions{})
+			sres, err := core.SCBGContext(ctx, prob, core.SCBGOptions{})
 			if err != nil && !errors.Is(err, core.ErrNoBridgeEnds) {
 				if sres == nil || sres.UncoverableEnds == 0 {
 					return nil, fmt.Errorf("experiment: %s: scbg: %w", cfg.Name, err)
@@ -81,7 +91,10 @@ func RunTable(inst *Instance) (*TableResult, error) {
 				if err != nil {
 					return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
 				}
-				need := minPrefixProtecting(inst.Net.Graph, rumors, prob.Ends, rank)
+				need, err := minPrefixProtecting(ctx, inst.Net.Graph, rumors, prob.Ends, rank)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s: %s solution size: %w", cfg.Name, sel.Name(), err)
+				}
 				short := need > len(rank)
 				if short {
 					need = len(rank)
@@ -114,30 +127,45 @@ func RunTable(inst *Instance) (*TableResult, error) {
 // rank, used as protector seeds, leave no bridge end infected under DOAM.
 // Returns len(rank)+1 when even the full ranking fails. Protection is
 // monotone in the seed set (protectors only speed the P cascade up), so a
-// doubling search followed by binary search is exact.
-func minPrefixProtecting(g *graph.Graph, rumors, ends []int32, rank []int32) int {
-	protects := func(k int) bool {
-		res, err := diffusion.DOAM{}.Run(g, rumors, rank[:k], nil, diffusion.Options{})
+// doubling search followed by binary search is exact. A failing DOAM check
+// — cancellation, or seeds that stopped being valid for the graph — is
+// propagated, never panicked.
+func minPrefixProtecting(ctx context.Context, g *graph.Graph, rumors, ends []int32, rank []int32) (int, error) {
+	protects := func(k int) (bool, error) {
+		res, err := diffusion.DOAM{}.RunContext(ctx, g, rumors, rank[:k], nil, diffusion.Options{})
 		if err != nil {
-			// Seeds come from validated rankings; failure is programmer error.
-			panic("experiment: DOAM check failed: " + err.Error())
+			return false, fmt.Errorf("experiment: DOAM check with %d seeds: %w", k, err)
 		}
 		for _, e := range ends {
 			if res.Status[e] == diffusion.Infected {
-				return false
+				return false, nil
 			}
 		}
-		return true
+		return true, nil
 	}
-	if len(ends) == 0 || protects(0) {
-		return 0
+	if len(ends) == 0 {
+		return 0, nil
 	}
-	if !protects(len(rank)) {
-		return len(rank) + 1
+	if ok, err := protects(0); err != nil {
+		return 0, err
+	} else if ok {
+		return 0, nil
+	}
+	if ok, err := protects(len(rank)); err != nil {
+		return 0, err
+	} else if !ok {
+		return len(rank) + 1, nil
 	}
 	// Doubling phase to find an upper bound, then binary search.
 	lo, hi := 0, 1
-	for hi < len(rank) && !protects(hi) {
+	for hi < len(rank) {
+		ok, err := protects(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
 		lo, hi = hi, hi*2
 	}
 	if hi > len(rank) {
@@ -145,11 +173,15 @@ func minPrefixProtecting(g *graph.Graph, rumors, ends []int32, rank []int32) int
 	}
 	for lo+1 < hi {
 		mid := (lo + hi) / 2
-		if protects(mid) {
+		ok, err := protects(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
 			hi = mid
 		} else {
 			lo = mid
 		}
 	}
-	return hi
+	return hi, nil
 }

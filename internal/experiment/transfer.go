@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -39,6 +40,13 @@ type ModelTransfer struct {
 // RunModelTransfer computes the SCBG (DOAM-optimal) solution once and
 // evaluates it under DOAM, OPOAO, competitive IC and competitive LT.
 func RunModelTransfer(inst *Instance) (*ModelTransfer, error) {
+	return RunModelTransferContext(context.Background(), inst)
+}
+
+// RunModelTransferContext is RunModelTransfer with cooperative
+// cancellation, checked per model and forwarded to SCBG and the
+// evaluations.
+func RunModelTransferContext(ctx context.Context, inst *Instance) (*ModelTransfer, error) {
 	cfg := inst.Config
 	src := rng.New(cfg.Seed + 18)
 	rumors := inst.drawRumors(cfg.RumorFractions[0], src)
@@ -49,7 +57,7 @@ func RunModelTransfer(inst *Instance) (*ModelTransfer, error) {
 	if prob.NumEnds() == 0 {
 		return nil, fmt.Errorf("experiment: transfer: no bridge ends")
 	}
-	sres, err := core.SCBG(prob, core.SCBGOptions{})
+	sres, err := core.SCBGContext(ctx, prob, core.SCBGOptions{})
 	if err != nil && !errors.Is(err, core.ErrNoBridgeEnds) &&
 		(sres == nil || sres.UncoverableEnds == 0) {
 		return nil, fmt.Errorf("experiment: transfer: scbg: %w", err)
@@ -67,13 +75,13 @@ func RunModelTransfer(inst *Instance) (*ModelTransfer, error) {
 		diffusion.CompetitiveLT{},
 	}
 	for _, m := range models {
-		open, err := core.Evaluate(prob, nil, core.EvaluateOptions{
+		open, err := core.EvaluateContext(ctx, prob, nil, core.EvaluateOptions{
 			Model: m, Samples: cfg.MCSamples, Seed: cfg.Seed + 19, MaxHops: cfg.Hops,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: transfer: %s open: %w", m.Name(), err)
 		}
-		blocked, err := core.Evaluate(prob, protectors, core.EvaluateOptions{
+		blocked, err := core.EvaluateContext(ctx, prob, protectors, core.EvaluateOptions{
 			Model: m, Samples: cfg.MCSamples, Seed: cfg.Seed + 19, MaxHops: cfg.Hops,
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package heuristic
 
 import (
+	stdctx "context"
 	"fmt"
 	"sort"
 
@@ -33,6 +34,14 @@ type GVS struct {
 
 // Select greedily picks k protector seeds.
 func (s GVS) Select(ctx Context, k int) ([]int32, error) {
+	return s.SelectContext(stdctx.Background(), ctx, k)
+}
+
+// SelectContext is Select with cooperative cancellation: the context is
+// checked before every candidate evaluation and inside the Monte-Carlo
+// sweeps. Unlike core.GreedyContext there is no partial-result contract —
+// an interrupted baseline ranking is not worth reporting.
+func (s GVS) SelectContext(cctx stdctx.Context, ctx Context, k int) ([]int32, error) {
 	if ctx.Graph == nil {
 		return nil, fmt.Errorf("heuristic: GVS: nil graph")
 	}
@@ -58,7 +67,7 @@ func (s GVS) Select(ctx Context, k int) ([]int32, error) {
 
 	saved := func(protectors []int32) (float64, error) {
 		agg, err := diffusion.MonteCarlo{Model: model, Samples: samples, Seed: s.Seed}.
-			Run(ctx.Graph, ctx.Rumors, protectors, diffusion.Options{MaxHops: maxHops})
+			RunContext(cctx, ctx.Graph, ctx.Rumors, protectors, diffusion.Options{MaxHops: maxHops})
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,8 @@
 package heuristic
 
 import (
+	stdctx "context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -111,5 +113,31 @@ func TestGVSDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("GVS not deterministic under a fixed seed")
+	}
+}
+
+func TestGVSSelectContextCanceled(t *testing.T) {
+	g := mustGraph(t, 5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 4},
+	})
+	ctx, cancel := stdctx.WithCancel(stdctx.Background())
+	cancel()
+	_, err := GVS{}.SelectContext(ctx, Context{Graph: g, Rumors: []int32{0}}, 1)
+	if !errors.Is(err, stdctx.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSelectContextCanceled(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}})
+	ctx, cancel := stdctx.WithCancel(stdctx.Background())
+	cancel()
+	_, err := SelectContext(ctx, MaxDegree{}, Context{Graph: g, Rumors: []int32{0}}, 2, nil)
+	if !errors.Is(err, stdctx.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	seeds, err := Select(MaxDegree{}, Context{Graph: g, Rumors: []int32{0}}, 2, nil)
+	if err != nil || len(seeds) == 0 {
+		t.Fatalf("plain Select broken: %v, %v", seeds, err)
 	}
 }

@@ -4,6 +4,7 @@
 package setcover
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -68,6 +69,14 @@ func Greedy(in Instance) (*Solution, error) {
 // covered (need is clamped to the universe size). This is the α-fraction
 // variant used for partial protection targets.
 func GreedyPartial(in Instance, need int) (*Solution, error) {
+	return GreedyPartialContext(context.Background(), in, need)
+}
+
+// GreedyPartialContext is GreedyPartial with cooperative cancellation,
+// checked once per selection round. On cancellation the partial cover built
+// so far is returned alongside the wrapped context error, mirroring the
+// ErrUncoverable contract.
+func GreedyPartialContext(ctx context.Context, in Instance, need int) (*Solution, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -94,6 +103,9 @@ func GreedyPartial(in Instance, need int) (*Solution, error) {
 	used := make([]bool, len(in.Sets))
 
 	for sol.Covered < need {
+		if err := ctx.Err(); err != nil {
+			return sol, fmt.Errorf("setcover: canceled after covering %d of %d elements: %w", sol.Covered, need, err)
+		}
 		best, bestRatio := -1, -math.MaxFloat64
 		for i := range in.Sets {
 			if used[i] || gains[i] == 0 {

@@ -1,6 +1,7 @@
 package setcover
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -283,5 +284,21 @@ func TestHarmonicBound(t *testing.T) {
 	}
 	if got := HarmonicBound(0); got != 0 {
 		t.Fatalf("H_0 = %v", got)
+	}
+}
+
+func TestGreedyPartialContextCanceled(t *testing.T) {
+	in := Instance{Universe: 4, Sets: [][]int32{{0, 1}, {2}, {3}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := GreedyPartialContext(ctx, in, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sol == nil {
+		t.Fatal("nil partial solution on cancellation")
+	}
+	if plain, err := GreedyPartialContext(context.Background(), in, 4); err != nil || plain.Covered != 4 {
+		t.Fatalf("live context run: %+v, %v", plain, err)
 	}
 }

@@ -39,6 +39,7 @@
 package lcrb
 
 import (
+	"context"
 	"io"
 
 	"lcrb/internal/community"
@@ -193,6 +194,25 @@ const (
 // bridge ends (nothing to protect).
 var ErrNoBridgeEnds = core.ErrNoBridgeEnds
 
+// Robustness sentinels; test with errors.Is.
+var (
+	// ErrBudgetExhausted is returned (wrapped) by SolveGreedyContext when
+	// GreedyOptions.MaxEvaluations or MaxDuration expires; the result then
+	// carries the best seed set found so far with Partial set.
+	ErrBudgetExhausted = core.ErrBudgetExhausted
+	// ErrSimPanic is returned (wrapped) by the Monte-Carlo driver when a
+	// model panics inside a worker; the panic is contained, not propagated.
+	ErrSimPanic = diffusion.ErrPanic
+	// ErrFaultInjected is the error produced by a SimFault-wrapped model or
+	// realization, for tests that exercise failure paths.
+	ErrFaultInjected = diffusion.ErrInjected
+)
+
+// SimFault is a deterministic fault-injection harness: wrap a Model or
+// Realization with it to fail or panic on the Nth invocation when testing
+// cancellation and panic-containment behaviour.
+type SimFault = diffusion.Fault
+
 // NewGraphBuilder returns a builder for a graph with numNodes nodes; the
 // node space grows automatically as edges are added.
 func NewGraphBuilder(numNodes int32) *GraphBuilder { return graph.NewBuilder(numNodes) }
@@ -255,10 +275,23 @@ func NewProblem(g *Graph, assign []int32, rumorCommunity int32, rumors []int32) 
 // optimal unless P = NP.
 func SolveSCBG(p *Problem, opts SCBGOptions) (*SCBGResult, error) { return core.SCBG(p, opts) }
 
+// SolveSCBGContext is SolveSCBG with cancellation support.
+func SolveSCBGContext(ctx context.Context, p *Problem, opts SCBGOptions) (*SCBGResult, error) {
+	return core.SCBGContext(ctx, p, opts)
+}
+
 // SolveGreedy runs the submodular greedy algorithm for LCRB-P (protect an
 // α fraction of the bridge ends under the OPOAO model). (1-1/e)-approximate
 // with respect to the Monte-Carlo σ̂ estimate.
 func SolveGreedy(p *Problem, opts GreedyOptions) (*GreedyResult, error) { return core.Greedy(p, opts) }
+
+// SolveGreedyContext is SolveGreedy with cancellation, deadline, and
+// evaluation-budget support. When the context or a GreedyOptions budget
+// expires mid-selection it returns the best-so-far seed set with
+// GreedyResult.Partial set, alongside the interruption error.
+func SolveGreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*GreedyResult, error) {
+	return core.GreedyContext(ctx, p, opts)
+}
 
 // Simulate runs one two-cascade diffusion with the given model. seed drives
 // stochastic models; deterministic models ignore it.
@@ -266,9 +299,20 @@ func Simulate(m Model, g *Graph, rumors, protectors []int32, seed uint64, opts S
 	return m.Run(g, rumors, protectors, rng.New(seed), opts)
 }
 
+// SimulateContext is Simulate with per-hop cancellation checks on models
+// that support them.
+func SimulateContext(ctx context.Context, m Model, g *Graph, rumors, protectors []int32, seed uint64, opts SimOptions) (*SimResult, error) {
+	return diffusion.RunModel(ctx, m, g, rumors, protectors, rng.New(seed), opts)
+}
+
 // SelectHeuristic returns the top k protector seeds of a baseline selector.
 func SelectHeuristic(sel Selector, ctx SelectorContext, k int, seed uint64) ([]int32, error) {
 	return heuristic.Select(sel, ctx, k, rng.New(seed))
+}
+
+// SelectHeuristicContext is SelectHeuristic with cancellation support.
+func SelectHeuristicContext(ctx context.Context, sel Selector, sctx SelectorContext, k int, seed uint64) ([]int32, error) {
+	return heuristic.SelectContext(ctx, sel, sctx, k, rng.New(seed))
 }
 
 // LocateSource ranks the infected nodes as candidate rumor originators

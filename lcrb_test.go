@@ -2,6 +2,8 @@ package lcrb_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -187,5 +189,59 @@ func TestFacadeICRealizationWithGreedy(t *testing.T) {
 	}
 	if res.ProtectedEnds < res.BaselineEnds {
 		t.Fatal("IC greedy regressed below baseline")
+	}
+}
+
+// TestFacadeRobustness exercises the context-aware facade: cancellation,
+// budgets with partial results, and fault injection.
+func TestFacadeRobustness(t *testing.T) {
+	net, err := lcrb.GenerateHep(0.04, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := lcrb.DetectCommunities(net.Graph, 1)
+	comm := part.ClosestBySize(40)
+	rumors := part.Members(comm)[:2]
+	prob, err := lcrb.NewProblem(net.Graph, part.Assign(), comm, rumors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.NumEnds() == 0 {
+		t.Skip("no bridge ends for this draw")
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := lcrb.SolveSCBGContext(canceled, prob, lcrb.SCBGOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveSCBGContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := lcrb.SimulateContext(canceled, lcrb.DOAM{}, net.Graph, rumors, nil, 0, lcrb.SimOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SimulateContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := lcrb.SelectHeuristicContext(canceled, lcrb.MaxDegree{}, lcrb.SelectorContext{Graph: net.Graph, Rumors: rumors}, 3, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectHeuristicContext: err = %v, want context.Canceled", err)
+	}
+
+	// An evaluation budget yields a partial result plus ErrBudgetExhausted.
+	res, err := lcrb.SolveGreedyContext(context.Background(), prob,
+		lcrb.GreedyOptions{Alpha: 0.8, Samples: 8, Seed: 2, MaxEvaluations: 2})
+	if !errors.Is(err, lcrb.ErrBudgetExhausted) {
+		t.Fatalf("SolveGreedyContext: err = %v, want ErrBudgetExhausted", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("SolveGreedyContext: result = %+v, want non-nil partial", res)
+	}
+
+	// Fault injection surfaces ErrFaultInjected through the solver.
+	fault := &lcrb.SimFault{FailOn: 1}
+	_, err = lcrb.SolveGreedyContext(context.Background(), prob, lcrb.GreedyOptions{
+		Alpha: 0.8, Samples: 8, Seed: 2,
+		Realization: fault.Realization(lcrb.ICRealization(0.1)),
+	})
+	if !errors.Is(err, lcrb.ErrFaultInjected) {
+		t.Fatalf("fault-injected solve: err = %v, want ErrFaultInjected", err)
+	}
+	if fault.Calls() == 0 {
+		t.Fatal("fault wrapper never invoked")
 	}
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench clean
+.PHONY: all build vet test race lint lint-fix ci bench clean
 
 all: ci
 
@@ -16,9 +16,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate the workflow runs: vet, build, then the full suite under
-# the race detector.
-ci: vet build race
+# lint gates on formatting, the standard vet passes, and the repo's custom
+# determinism analyzers (mapiter, rngsource, ctxpair, errfmt — see
+# cmd/lcrblint). lcrblint runs with -vet=false here because the full
+# `go vet` on the line above already covers the standard passes.
+lint:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/lcrblint -vet=false ./...
+
+# lint-fix applies the analyzers' suggested rewrites (currently the mapiter
+# sorted-keys transform) in place, then reports what remains.
+lint-fix:
+	$(GO) run ./cmd/lcrblint -fix -vet=false ./...
+
+# ci is the gate the workflow runs: lint (fmt + vet + analyzers), build,
+# then the full suite under the race detector.
+ci: lint build race
 
 bench:
 	$(GO) test -bench . -benchtime 1x

@@ -296,7 +296,7 @@ func simulate(ctx context.Context, stdout io.Writer, model string, g *graph.Grap
 	}
 	opts := diffusion.Options{MaxHops: hops, RecordHops: true}
 	if model == "doam" {
-		res, err := diffusion.RunModel(ctx, m, g, rumors, protectors, nil, opts)
+		res, err := diffusion.RunModelContext(ctx, m, g, rumors, protectors, nil, opts)
 		if err != nil {
 			return err
 		}

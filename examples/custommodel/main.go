@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"text/tabwriter"
 
 	"lcrb"
@@ -78,8 +79,16 @@ func (OPOAT) Run(g *graph.Graph, rumors, protectors []int32, src *rng.Source, op
 		if len(proposals) == 0 {
 			continue
 		}
-		for v, st := range proposals {
-			status[v] = st
+		// Map iteration order is randomized by the runtime; apply the
+		// proposals in sorted node order so the same seed replays the
+		// same cascade (the frontier order feeds next hop's RNG draws).
+		nodes := make([]int32, 0, len(proposals))
+		for v := range proposals {
+			nodes = append(nodes, v)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, v := range nodes {
+			status[v] = proposals[v]
 			active = append(active, v)
 		}
 		res.Hops = hop + 1

@@ -1,0 +1,121 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package at a time and reports position-anchored Diagnostics,
+// optionally carrying mechanical SuggestedFixes.
+//
+// The repo cannot vendor x/tools, so this package mirrors the upstream API
+// shape closely enough that the analyzers under internal/analysis/... read
+// like stock go/analysis passes and could be ported to the real driver by
+// changing imports. Only the subset the lcrblint suite needs is provided.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. Run is invoked once per loaded
+// package with a fully type-checked Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in lint:ignore
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is the help text shown by lcrblint -help.
+	Doc string
+	// Run executes the check. It reports findings through pass.Report and
+	// returns an error only for internal failures, not for findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, anchored to source positions.
+type Diagnostic struct {
+	Pos token.Pos
+	// End optionally marks the end of the flagged region; token.NoPos
+	// means "just Pos".
+	End      token.Pos
+	Message  string
+	Category string
+	// SuggestedFixes holds mechanical rewrites the driver can apply with
+	// -fix. Fixes must leave the file compiling.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is a set of text edits that resolves a diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// IgnoreDirective is the comment prefix that suppresses a diagnostic:
+//
+//	//lint:ignore <name>[,<name>...] <reason>
+//
+// placed either on the flagged line or alone on the line directly above it.
+// <name> is an analyzer name or "all"; the reason is mandatory so the
+// suppression documents itself.
+const IgnoreDirective = "//lint:ignore"
+
+// Suppressed reports whether a diagnostic produced by the named analyzer at
+// pos is silenced by a lint:ignore directive in file.
+func Suppressed(fset *token.FileSet, file *ast.File, analyzer string, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			names, ok := parseIgnore(c.Text)
+			if !ok {
+				continue
+			}
+			cline := fset.Position(c.Pos()).Line
+			if cline != line && cline != line-1 {
+				continue
+			}
+			for _, n := range names {
+				if n == "all" || n == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// parseIgnore extracts the analyzer names of a well-formed ignore
+// directive. Directives without a reason are ignored (not honored), so a
+// bare "//lint:ignore mapiter" still fails the build.
+func parseIgnore(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, IgnoreDirective)
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // names + at least one word of reason
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}

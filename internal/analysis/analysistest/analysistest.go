@@ -1,0 +1,264 @@
+// Package analysistest runs one analyzer over a testdata package and
+// compares its diagnostics against `// want` expectations embedded in the
+// sources, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a comment of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// meaning the analyzer must report, on that line, one diagnostic matching
+// each regexp. Diagnostics without a matching expectation, and
+// expectations without a matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/format"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lcrb/internal/analysis"
+)
+
+// Run loads the package under dir/src/<pkg>, applies a, and checks its
+// diagnostics against the `// want` comments. It returns the diagnostics
+// for further assertions.
+func Run(t *testing.T, dir, pkg string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	fset, files, diags := runAnalyzer(t, dir, pkg, a)
+	checkExpectations(t, fset, files, *diags)
+	return *diags
+}
+
+// RunWithSuggestedFixes is Run, then additionally applies every suggested
+// fix in memory and compares each patched file against a sibling
+// <name>.golden file (required for every file a fix touches).
+func RunWithSuggestedFixes(t *testing.T, dir, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	fset, files, diags := runAnalyzer(t, dir, pkg, a)
+	checkExpectations(t, fset, files, *diags)
+
+	type edit struct {
+		start, end int
+		newText    []byte
+	}
+	perFile := map[string][]edit{}
+	for _, d := range *diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := fset.Position(te.Pos)
+				end := start
+				if te.End.IsValid() {
+					end = fset.Position(te.End)
+				}
+				perFile[start.Filename] = append(perFile[start.Filename], edit{start.Offset, end.Offset, te.NewText})
+			}
+		}
+	}
+	if len(perFile) == 0 {
+		t.Fatalf("analysistest: %s produced no suggested fixes", a.Name)
+	}
+	for name, edits := range perFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			src = append(src[:e.start], append(append([]byte{}, e.newText...), src[e.end:]...)...)
+		}
+		got, err := format.Source(src)
+		if err != nil {
+			t.Fatalf("analysistest: fixed %s does not parse: %v\n%s", name, err, src)
+		}
+		golden, err := os.ReadFile(name + ".golden")
+		if err != nil {
+			t.Fatalf("analysistest: missing golden file for %s: %v", name, err)
+		}
+		want, err := format.Source(golden)
+		if err != nil {
+			t.Fatalf("analysistest: golden %s.golden does not parse: %v", name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("analysistest: fixed %s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+		}
+	}
+}
+
+// runAnalyzer type-checks the testdata package and runs the analyzer,
+// filtering diagnostics through lint:ignore suppression like the real
+// driver does.
+func runAnalyzer(t *testing.T, dir, pkg string, a *analysis.Analyzer) (*token.FileSet, []*ast.File, *[]analysis.Diagnostic) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgDir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files under %s", pkgDir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck %s: %v", pkg, err)
+	}
+
+	diags := new([]analysis.Diagnostic)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		for _, f := range files {
+			if f.FileStart <= d.Pos && d.Pos < f.FileEnd {
+				if analysis.Suppressed(fset, f, a.Name, d.Pos) {
+					return
+				}
+				break
+			}
+		}
+		*diags = append(*diags, d)
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+	return fset, files, diags
+}
+
+// expectation is one `// want` regexp, keyed to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// checkExpectations matches diagnostics against the testdata's want
+// comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					text, ok = strings.CutPrefix(c.Text, "//want ")
+				}
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("analysistest: bad want regexp at %s: %v", pos, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("analysistest: unexpected diagnostic at %s: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("analysistest: no diagnostic at %s:%d matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted parses the payload of a want comment: a sequence of Go
+// string literals (quoted or backquoted).
+func splitQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("analysistest: unterminated want literal: %s", s)
+			}
+			lit = s[1 : 1+end]
+			s = s[2+end:]
+		case '"':
+			rest := s[1:]
+			end := -1
+			for i := 0; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("analysistest: unterminated want literal: %s", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+2])
+			if err != nil {
+				t.Fatalf("analysistest: bad want literal %q: %v", s[:end+2], err)
+			}
+			s = s[end+2:]
+		default:
+			t.Fatalf("analysistest: want payload must be quoted regexps, got: %s", s)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package checker drives analyzers over loaded packages: it runs each
+// analyzer, honors lint:ignore suppressions, orders findings
+// deterministically, and can apply suggested fixes in place.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+
+	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/load"
+)
+
+// Finding pairs a diagnostic with where it came from.
+type Finding struct {
+	Analyzer string
+	PkgPath  string
+	Pos      token.Position
+	Diag     analysis.Diagnostic
+}
+
+// String renders a finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Diag.Message)
+}
+
+// Run executes every analyzer on every package and returns the surviving
+// (non-suppressed) findings sorted by position then analyzer name.
+func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				if file := enclosingFile(pkg.Files, d.Pos); file != nil &&
+					analysis.Suppressed(fset, file, a.Name, d.Pos) {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					PkgPath:  pkg.PkgPath,
+					Pos:      fset.Position(d.Pos),
+					Diag:     d,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("checker: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := findings[i].Pos, findings[j].Pos
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// enclosingFile returns the syntax file containing pos, if any.
+func enclosingFile(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// ApplyFixes writes every finding's first suggested fix back to disk and
+// reports how many findings were fixed. Overlapping edits are rejected so a
+// half-applied rewrite can't corrupt a file.
+func ApplyFixes(fset *token.FileSet, findings []Finding) (int, error) {
+	type edit struct {
+		start, end int // byte offsets within the file
+		newText    []byte
+	}
+	perFile := map[string][]edit{}
+	fixed := 0
+	for _, f := range findings {
+		if len(f.Diag.SuggestedFixes) == 0 {
+			continue
+		}
+		fix := f.Diag.SuggestedFixes[0]
+		ok := len(fix.TextEdits) > 0
+		staged := map[string][]edit{}
+		for _, te := range fix.TextEdits {
+			if !te.Pos.IsValid() {
+				ok = false
+				break
+			}
+			start := fset.Position(te.Pos)
+			end := start
+			if te.End.IsValid() {
+				end = fset.Position(te.End)
+			}
+			if end.Filename != start.Filename || end.Offset < start.Offset {
+				ok = false
+				break
+			}
+			staged[start.Filename] = append(staged[start.Filename], edit{start.Offset, end.Offset, te.NewText})
+		}
+		if !ok {
+			continue
+		}
+		fixed++
+		for name, es := range staged {
+			perFile[name] = append(perFile[name], es...)
+		}
+	}
+	names := make([]string, 0, len(perFile))
+	for name := range perFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		edits := perFile[name]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].end > edits[i-1].start {
+				return 0, fmt.Errorf("checker: overlapping fixes in %s", name)
+			}
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return 0, fmt.Errorf("checker: apply fixes: %w", err)
+		}
+		for _, e := range edits {
+			if e.end > len(src) {
+				return 0, fmt.Errorf("checker: fix out of range in %s", name)
+			}
+			src = append(src[:e.start], append(append([]byte{}, e.newText...), src[e.end:]...)...)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return 0, fmt.Errorf("checker: fixed %s does not parse: %w", name, err)
+		}
+		if err := os.WriteFile(name, formatted, 0o644); err != nil {
+			return 0, fmt.Errorf("checker: apply fixes: %w", err)
+		}
+	}
+	return fixed, nil
+}

@@ -1,0 +1,152 @@
+package checker_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/checker"
+	"lcrb/internal/analysis/load"
+)
+
+// parsePkg type-checks one on-disk file into a load.Package so the checker
+// can be driven without shelling out to go list.
+func parsePkg(t *testing.T, fset *token.FileSet, path string) *load.Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &load.Package{PkgPath: "p", Name: "p", Files: []*ast.File{f}, Types: tpkg, TypesInfo: info}
+}
+
+func TestRunOrdersAndSuppresses(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.go")
+	src := `package p
+
+func b() {}
+
+//lint:ignore probe deliberately quiet here
+func a() {}
+
+func c() {}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg := parsePkg(t, fset, path)
+
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "report every function declaration",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	findings, err := checker.Run(fset, []*load.Package{pkg}, []*analysis.Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (a is suppressed): %v", len(findings), findings)
+	}
+	if findings[0].Diag.Message != "func b" || findings[1].Diag.Message != "func c" {
+		t.Fatalf("wrong order or content: %v", findings)
+	}
+	want := path + ":3:1: probe: func b"
+	if findings[0].String() != want {
+		t.Fatalf("String() = %q, want %q", findings[0].String(), want)
+	}
+}
+
+func TestApplyFixes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.go")
+	src := `package p
+
+func old() {}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg := parsePkg(t, fset, path)
+
+	rename := &analysis.Analyzer{
+		Name: "rename",
+		Doc:  "suggest renaming old to renamed",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Name.Name != "old" {
+						continue
+					}
+					pass.Report(analysis.Diagnostic{
+						Pos:     fd.Name.Pos(),
+						Message: "stale name",
+						SuggestedFixes: []analysis.SuggestedFix{{
+							Message: "rename to renamed",
+							TextEdits: []analysis.TextEdit{{
+								Pos:     fd.Name.Pos(),
+								End:     fd.Name.End(),
+								NewText: []byte("renamed"),
+							}},
+						}},
+					})
+				}
+			}
+			return nil
+		},
+	}
+	findings, err := checker.Run(fset, []*load.Package{pkg}, []*analysis.Analyzer{rename})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := checker.ApplyFixes(fset, findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed != 1 {
+		t.Fatalf("fixed %d findings, want 1", fixed)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `package p
+
+func renamed() {}
+`
+	if string(got) != want {
+		t.Fatalf("fixed file:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,160 @@
+// Package ctxpair keeps the repo's dual API surface consistent. PR 1 gave
+// every cancellable entry point a FooContext variant while keeping the
+// plain Foo as back-compat sugar; this analyzer pins that shape down:
+//
+//   - every exported FooContext function or method (context.Context first
+//     parameter) must have an exported Foo counterpart with the same
+//     receiver;
+//   - that Foo counterpart must delegate to FooContext with
+//     context.Background() as the first argument, so the two variants
+//     cannot drift apart behaviorally;
+//   - conversely, an exported function taking a context.Context first
+//     parameter must be named FooContext, so callers can always predict
+//     which variant accepts a context.
+//
+// Methods on unexported receiver types and test files are out of scope.
+package ctxpair
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lcrb/internal/analysis"
+)
+
+// Analyzer is the ctxpair pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpair",
+	Doc:  "require Foo/FooContext pairs where Foo delegates with context.Background()",
+	Run:  run,
+}
+
+// declKey identifies a function declaration: receiver type name (empty for
+// package-level functions) plus function name.
+type declKey struct {
+	recv string
+	name string
+}
+
+func run(pass *analysis.Pass) error {
+	decls := map[declKey]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				decls[declKey{recvTypeName(fd), fd.Name.Name}] = fd
+			}
+		}
+	}
+
+	for key, fd := range decls {
+		if !ast.IsExported(key.name) || (key.recv != "" && !ast.IsExported(key.recv)) {
+			continue
+		}
+		hasCtx := firstParamIsContext(pass, fd)
+		if base, isCtxName := strings.CutSuffix(key.name, "Context"); isCtxName && base != "" && ast.IsExported(base) && hasCtx {
+			counterpart, ok := decls[declKey{key.recv, base}]
+			if !ok {
+				pass.Reportf(fd.Name.Pos(), "exported %s has no %s counterpart; add the back-compat variant", key.name, base)
+				continue
+			}
+			if !delegates(pass, counterpart, key.name) {
+				pass.Reportf(counterpart.Name.Pos(), "%s does not delegate to %s(context.Background(), ...); the pair can drift apart", base, key.name)
+			}
+		} else if hasCtx {
+			pass.Reportf(fd.Name.Pos(), "exported %s takes a context.Context but is not named %sContext", key.name, key.name)
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the name of fd's receiver type, or "".
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// firstParamIsContext reports whether fd's first parameter is a
+// context.Context.
+func firstParamIsContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	return params.Len() > 0 && isContextType(params.At(0).Type())
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// delegates reports whether fd's body calls ctxName with
+// context.Background() as the first argument.
+func delegates(pass *analysis.Pass, fd *ast.FuncDecl, ctxName string) bool {
+	if fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		var callee *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			callee = fun
+		case *ast.SelectorExpr:
+			callee = fun.Sel
+		default:
+			return true
+		}
+		fn, ok := pass.TypesInfo.ObjectOf(callee).(*types.Func)
+		if !ok || fn.Name() != ctxName || fn.Pkg() != pass.Pkg {
+			return true
+		}
+		if isBackgroundCall(pass, call.Args[0]) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBackgroundCall reports whether expr is context.Background().
+func isBackgroundCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context" && fn.Name() == "Background"
+}

@@ -1,0 +1,12 @@
+package ctxpair_test
+
+import (
+	"testing"
+
+	"lcrb/internal/analysis/analysistest"
+	"lcrb/internal/analysis/ctxpair"
+)
+
+func TestDiagnostics(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", ctxpair.Analyzer)
+}

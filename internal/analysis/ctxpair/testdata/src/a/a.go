@@ -1,0 +1,71 @@
+// Package a exercises the ctxpair analyzer: every exported FooContext
+// needs a Foo counterpart delegating with context.Background(), and an
+// exported context-taking function must carry the Context suffix.
+package a
+
+import "context"
+
+// Solve / SolveContext is the sanctioned pair.
+func Solve(x int) int {
+	return SolveContext(context.Background(), x)
+}
+
+// SolveContext is Solve with cancellation support.
+func SolveContext(ctx context.Context, x int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return x
+}
+
+// OrphanContext has no back-compat variant.
+func OrphanContext(ctx context.Context) error { // want `exported OrphanContext has no Orphan counterpart; add the back-compat variant`
+	return ctx.Err()
+}
+
+// Drift has a Context sibling but computes its own answer instead of
+// delegating, so the two can diverge.
+func Drift(x int) int { // want `Drift does not delegate to DriftContext\(context\.Background\(\), \.\.\.\); the pair can drift apart`
+	return x + 1
+}
+
+// DriftContext is the context-aware sibling Drift fails to call.
+func DriftContext(ctx context.Context, x int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return x + 1
+}
+
+// Fetch takes a context but is missing the Context suffix.
+func Fetch(ctx context.Context) error { // want `exported Fetch takes a context\.Context but is not named FetchContext`
+	return ctx.Err()
+}
+
+// helper is unexported: out of scope.
+func helper(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Runner shows the method form of the pair.
+type Runner struct{}
+
+// Run delegates like the package-level pair does.
+func (r *Runner) Run(x int) int {
+	return r.RunContext(context.Background(), x)
+}
+
+// RunContext is Run with cancellation support.
+func (r *Runner) RunContext(ctx context.Context, x int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return x
+}
+
+type inner struct{}
+
+// DoContext sits on an unexported receiver: out of scope.
+func (inner) DoContext(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,97 @@
+// Package errfmt enforces the repo's error-string conventions, normalized
+// in PR 1:
+//
+//   - in library (non-main) packages, every errors.New / fmt.Errorf message
+//     must carry the "pkg: " prefix so an error's origin is readable from
+//     its text alone; a message may instead begin with %w, inheriting the
+//     prefix of the wrapped error;
+//   - everywhere, a fmt.Errorf that receives an error argument must use %w
+//     (not %v or %s) so errors.Is / errors.As can see the cause through the
+//     wrap.
+//
+// Test files are exempt: test-only errors are assertion scaffolding, not
+// part of the error chain the tools inspect.
+package errfmt
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"lcrb/internal/analysis"
+)
+
+// Analyzer is the errfmt pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errfmt",
+	Doc:  "require 'pkg: ' prefixes on error constructors and %w at propagation sites",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			var isErrorf bool
+			switch {
+			case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				isErrorf = true
+			default:
+				return true
+			}
+
+			msg, haveMsg := constantString(pass, call.Args[0])
+			if haveMsg && pass.Pkg.Name() != "main" {
+				prefix := pass.Pkg.Name() + ": "
+				if !strings.HasPrefix(msg, prefix) && !strings.HasPrefix(msg, "%w") {
+					pass.Reportf(call.Args[0].Pos(), "error message %q must start with %q (or lead with %%w to inherit the wrapped prefix)", clip(msg), prefix)
+				}
+			}
+			if isErrorf && haveMsg && !strings.Contains(msg, "%w") {
+				for _, arg := range call.Args[1:] {
+					t := pass.TypesInfo.TypeOf(arg)
+					if t != nil && types.Implements(t, errType) {
+						pass.Reportf(arg.Pos(), "error value formatted with %%v/%%s; use %%w so errors.Is and errors.As can unwrap it")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constantString returns expr's compile-time string value, if it has one.
+func constantString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// clip shortens long messages for readable diagnostics.
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

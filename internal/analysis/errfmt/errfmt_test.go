@@ -1,0 +1,18 @@
+package errfmt_test
+
+import (
+	"testing"
+
+	"lcrb/internal/analysis/analysistest"
+	"lcrb/internal/analysis/errfmt"
+)
+
+func TestDiagnostics(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", errfmt.Analyzer)
+}
+
+// TestMainExempt checks that command (package main) messages need no
+// package prefix.
+func TestMainExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", "m", errfmt.Analyzer)
+}

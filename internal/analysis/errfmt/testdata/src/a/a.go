@@ -1,0 +1,40 @@
+// Package a exercises the errfmt analyzer: constructor messages carry the
+// "a: " package prefix and propagation sites wrap with %w.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("a: base failure")
+
+func missingPrefix() error {
+	return errors.New("bad thing happened") // want `error message "bad thing happened" must start with "a: " \(or lead with %w to inherit the wrapped prefix\)`
+}
+
+func unwrappable(err error) error {
+	return fmt.Errorf("a: compute failed: %v", err) // want `error value formatted with %v/%s; use %w so errors\.Is and errors\.As can unwrap it`
+}
+
+// wrapped is the sanctioned propagation shape.
+func wrapped(err error) error {
+	return fmt.Errorf("a: compute failed: %w", err)
+}
+
+// inherit leads with %w, taking the wrapped error's prefix.
+func inherit(err error) error {
+	return fmt.Errorf("%w: while computing", err)
+}
+
+// dynamic messages are out of scope: only compile-time constants are
+// checked.
+func dynamic(msg string) error {
+	return errors.New(msg)
+}
+
+// suppressedCase documents a deliberate exception.
+func suppressedCase() error {
+	//lint:ignore errfmt sentinel text is part of the published file format
+	return errors.New("MAGIC-HEADER-V1")
+}

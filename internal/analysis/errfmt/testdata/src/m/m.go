@@ -1,0 +1,9 @@
+// Command m shows the main-package exemption: binaries report errors to
+// the operator directly, so no package prefix is required.
+package main
+
+import "errors"
+
+func run() error {
+	return errors.New("plain operator-facing message")
+}

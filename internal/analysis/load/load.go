@@ -1,0 +1,237 @@
+// Package load turns `go list` package patterns into parsed, type-checked
+// packages ready for analysis, using only the standard library.
+//
+// Without golang.org/x/tools/go/packages available, loading works in two
+// steps: `go list -json` enumerates the target packages (directories, file
+// lists, import graphs), then go/parser + go/types check each target from
+// source. Imports that are themselves targets resolve to the packages this
+// loader checked; everything else (the standard library, chiefly) falls
+// back to go/importer's source importer, which compiles type information
+// from GOROOT sources and needs no pre-built export data.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	// PkgPath is the import path (e.g. "lcrb/internal/graph").
+	PkgPath string
+	// Name is the package name (e.g. "graph", "main").
+	Name string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Files holds the parsed syntax trees for GoFiles plus in-package
+	// test files, in deterministic (sorted filename) order.
+	Files []*ast.File
+	// Types and TypesInfo are the go/types results for Files.
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	imports []string
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	Imports      []string
+	TestImports  []string
+	Incomplete   bool
+	Error        *struct{ Err string }
+	DepsErrors   []*struct{ Err string }
+	ForTest      string
+	Module       *struct{ Path string }
+	Standard     bool
+	CgoFiles     []string
+	IgnoredFiles []string
+}
+
+// Load lists the packages matching patterns (relative to dir), parses and
+// type-checks them in dependency order, and returns them sorted by import
+// path. Test files belonging to the package under test are included;
+// external _test packages are not.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Targets import each other; resolve those imports to our own checked
+	// packages and lean on the source importer for the rest.
+	imp := &cachingImporter{
+		fallback: importer.ForCompiler(fset, "source", nil),
+		checked:  map[string]*types.Package{},
+	}
+
+	// Phase 1: check the build half of every target (GoFiles only) in
+	// dependency order, so later packages import these results. Test files
+	// must stay out of this phase: in-package tests may import packages
+	// that in turn depend on this one (a legal cycle in Go, since tests
+	// are not part of the build graph), which would break the ordering.
+	pkgs := make(map[string]*Package, len(listed))
+	for _, lp := range topoOrder(listed) {
+		if len(lp.GoFiles) == 0 {
+			continue // test-only package; phase 2 picks it up
+		}
+		pkg, err := checkPackage(fset, lp, imp, false)
+		if err != nil {
+			return nil, err
+		}
+		imp.checked[pkg.PkgPath] = pkg.Types
+		pkgs[pkg.PkgPath] = pkg
+	}
+
+	// Phase 2: for packages with in-package test files, re-check the
+	// test-augmented package for analysis. Its imports all resolve against
+	// the phase-1 cache, so ordering no longer matters.
+	for _, lp := range listed {
+		if len(lp.TestGoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, lp, imp, true)
+		if err != nil {
+			return nil, err
+		}
+		pkgs[pkg.PkgPath] = pkg
+	}
+
+	out := make([]*Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// goList shells out to the go command to enumerate target packages.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 && len(lp.TestGoFiles) == 0 {
+			continue
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// topoOrder sorts the listed packages so every package appears after the
+// targets it imports (build imports only — test imports may form cycles).
+func topoOrder(listed []*listedPackage) []*listedPackage {
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+	var out []*listedPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(lp *listedPackage)
+	visit = func(lp *listedPackage) {
+		switch state[lp.ImportPath] {
+		case 1, 2:
+			return // build-import cycles are a compile error; just don't loop
+		}
+		state[lp.ImportPath] = 1
+		for _, dep := range lp.Imports {
+			if d, ok := byPath[dep]; ok {
+				visit(d)
+			}
+		}
+		state[lp.ImportPath] = 2
+		out = append(out, lp)
+	}
+	// Listed order from the go command is already deterministic.
+	for _, lp := range listed {
+		visit(lp)
+	}
+	return out
+}
+
+// checkPackage parses and type-checks one listed package, with or without
+// its in-package test files.
+func checkPackage(fset *token.FileSet, lp *listedPackage, imp types.Importer, withTests bool) (*Package, error) {
+	names := append([]string{}, lp.GoFiles...)
+	if withTests {
+		names = append(names, lp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Name:      lp.Name,
+		Dir:       lp.Dir,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		imports:   lp.Imports,
+	}, nil
+}
+
+// cachingImporter resolves already-checked target packages before falling
+// back to the (internally caching) source importer.
+type cachingImporter struct {
+	fallback types.Importer
+	checked  map[string]*types.Package
+}
+
+func (ci *cachingImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ci.checked[path]; ok {
+		return p, nil
+	}
+	return ci.fallback.Import(path)
+}

@@ -1,0 +1,63 @@
+package load_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"lcrb/internal/analysis/load"
+)
+
+// TestLoadSinglePackage loads the repo's cheapest internal package and
+// checks the loaded shape: syntax, types, and in-package test files.
+func TestLoadSinglePackage(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := load.Load(fset, ".", "lcrb/internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "lcrb/internal/rng" || p.Name != "rng" {
+		t.Fatalf("got %s (%s), want lcrb/internal/rng (rng)", p.PkgPath, p.Name)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.TypesInfo == nil {
+		t.Fatalf("incomplete package: %d files, types %v", len(p.Files), p.Types)
+	}
+	if len(p.TypesInfo.Defs) == 0 {
+		t.Fatal("TypesInfo carries no definitions")
+	}
+	hasTest := false
+	for _, f := range p.Files {
+		if strings.HasSuffix(fset.Position(f.FileStart).Filename, "_test.go") {
+			hasTest = true
+		}
+	}
+	if !hasTest {
+		t.Fatal("in-package test files were not loaded")
+	}
+	if p.Types.Scope().Lookup("New") == nil {
+		t.Fatal("rng.New not found in package scope")
+	}
+}
+
+// TestLoadWithTestImportCycle loads a pair of packages whose in-package
+// tests import each other's packages — legal in Go because tests sit
+// outside the build graph, and the reason loading runs in two phases.
+func TestLoadWithTestImportCycle(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := load.Load(fset, ".", "lcrb/internal/gen", "lcrb/internal/community", "lcrb/internal/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("got %d packages, want 3", len(pkgs))
+	}
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i-1].PkgPath >= pkgs[i].PkgPath {
+			t.Fatalf("packages not sorted: %s before %s", pkgs[i-1].PkgPath, pkgs[i].PkgPath)
+		}
+	}
+}

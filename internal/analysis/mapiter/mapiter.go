@@ -1,0 +1,379 @@
+// Package mapiter flags `for range` over a map whose body performs
+// order-sensitive accumulation — the exact bug class behind the Louvain
+// nondeterminism fixed in PR 1. Go randomizes map iteration order, so a
+// float sum (or an append consumed unsorted) fed from a map range differs
+// bit-for-bit between runs, which breaks common-random-number σ estimates
+// and checkpoint fingerprints.
+//
+// Two body shapes are order-sensitive:
+//
+//   - compound floating-point accumulation (`x += v`, `x *= v`, ...) into a
+//     variable declared outside the loop: float addition is not
+//     associative, so the sum depends on visit order;
+//   - `s = append(s, ...)` into an outer slice that no later statement in
+//     the enclosing function sorts: the slice's element order leaks the map
+//     order to consumers.
+//
+// Integer accumulation is commutative and exact, so it is not flagged.
+// Test files are skipped. Where the rewrite is mechanical (plain map
+// operand, ordered key type, `sort` already imported) the diagnostic
+// carries a suggested fix that snapshots and sorts the keys first.
+package mapiter
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lcrb/internal/analysis"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration feeding order-sensitive accumulation (floats, unsorted appends)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRange(pass, file, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange reports order-sensitive accumulation inside one map range.
+func checkMapRange(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) {
+	var reasons []string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// Indexed targets (m[k] += v) are skipped: when every key is
+			// visited once the per-element sums are order-independent.
+			if len(as.Lhs) == 1 && !containsIndex(as.Lhs[0]) &&
+				isFloat(pass.TypesInfo.TypeOf(as.Lhs[0])) && declaredOutside(pass, as.Lhs[0], rng) {
+				reasons = append(reasons, fmt.Sprintf("float accumulation into %s", render(pass.Fset, as.Lhs[0])))
+			}
+		case token.ASSIGN:
+			if tgt := appendTarget(pass, as); tgt != nil && declaredOutside(pass, as.Lhs[0], rng) &&
+				!sortedAfter(pass, file, rng, tgt) {
+				reasons = append(reasons, fmt.Sprintf("append into %s without a later sort", tgt.Name()))
+			}
+		}
+		return true
+	})
+	if len(reasons) == 0 {
+		return
+	}
+	d := analysis.Diagnostic{
+		Pos:     rng.Pos(),
+		End:     rng.Body.Lbrace,
+		Message: fmt.Sprintf("iterating over map %s feeds order-sensitive accumulation (%s); range over sorted keys instead", render(pass.Fset, rng.X), strings.Join(reasons, "; ")),
+	}
+	if fix, ok := sortKeysFix(pass, file, rng); ok {
+		d.SuggestedFixes = []analysis.SuggestedFix{fix}
+	}
+	pass.Report(d)
+}
+
+// appendTarget returns the object of s in the statement `s = append(s, ...)`,
+// or nil if the statement has another shape.
+func appendTarget(pass *analysis.Pass, as *ast.AssignStmt) *types.Var {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(arg) != pass.TypesInfo.ObjectOf(lhs) {
+		return nil
+	}
+	v, _ := pass.TypesInfo.ObjectOf(lhs).(*types.Var)
+	return v
+}
+
+// declaredOutside reports whether the root variable of expr was declared
+// outside the range statement, i.e. the accumulated value survives the loop.
+func declaredOutside(pass *analysis.Pass, expr ast.Expr, rng *ast.RangeStmt) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.ObjectOf(e)
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// sortedAfter reports whether some statement after rng (in any enclosing
+// block up to the function boundary) passes tgt to a sort/slices sorting
+// function, which launders the map order away.
+func sortedAfter(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, tgt *types.Var) bool {
+	path := pathTo(file, rng)
+	for i := len(path) - 1; i >= 0; i-- {
+		if _, ok := path[i].(*ast.FuncLit); ok {
+			break
+		}
+		if _, ok := path[i].(*ast.FuncDecl); ok {
+			break
+		}
+		list := stmtList(path[i])
+		if list == nil {
+			continue
+		}
+		// Find the direct child of this block on the path and scan what
+		// follows it.
+		var child ast.Node
+		if i+1 < len(path) {
+			child = path[i+1]
+		} else {
+			child = rng
+		}
+		after := false
+		for _, st := range list {
+			if after && sortsVar(pass, st, tgt) {
+				return true
+			}
+			if st == child {
+				after = true
+			}
+		}
+	}
+	return false
+}
+
+// stmtList extracts the statement list of block-like nodes.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+// sortsVar reports whether stmt contains a call into package sort or
+// slices that mentions tgt.
+func sortsVar(pass *analysis.Pass, stmt ast.Stmt, tgt *types.Var) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == tgt {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// pathTo returns the chain of AST nodes from root down to target.
+func pathTo(root, target ast.Node) []ast.Node {
+	var stack, path []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if path != nil {
+			return false
+		}
+		stack = append(stack, n)
+		if n == target {
+			path = append([]ast.Node{}, stack...)
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+	return path
+}
+
+// sortKeysFix builds the sort-keys-before-range rewrite when it is
+// mechanical: plain identifier map operand, fresh non-blank identifier key
+// of an ordered type, and "sort" already imported by the file.
+func sortKeysFix(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) (analysis.SuggestedFix, bool) {
+	var none analysis.SuggestedFix
+	if rng.Tok != token.DEFINE {
+		return none, false
+	}
+	mapIdent, ok := rng.X.(*ast.Ident)
+	if !ok {
+		return none, false
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return none, false
+	}
+	mt, ok := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map)
+	if !ok {
+		return none, false
+	}
+	basic, ok := mt.Key().Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString|types.IsFloat) == 0 {
+		return none, false
+	}
+	if !importsSort(file) {
+		return none, false
+	}
+
+	keyType := types.TypeString(mt.Key(), func(p *types.Package) string {
+		if p == pass.Pkg {
+			return ""
+		}
+		return p.Name()
+	})
+	keysName := freshName(pass, file, rng, "keys")
+
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keysName, keyType, mapIdent.Name)
+	fmt.Fprintf(&b, "for %s := range %s {\n%s = append(%s, %s)\n}\n", key.Name, mapIdent.Name, keysName, keysName, key.Name)
+	fmt.Fprintf(&b, "sort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })\n", keysName, keysName, keysName)
+	fmt.Fprintf(&b, "for _, %s := range %s {\n", key.Name, keysName)
+	if val, ok := rng.Value.(*ast.Ident); ok && val.Name != "_" {
+		fmt.Fprintf(&b, "%s := %s[%s]\n", val.Name, mapIdent.Name, key.Name)
+	}
+	return analysis.SuggestedFix{
+		Message: "snapshot and sort the map keys, then range over the sorted slice",
+		TextEdits: []analysis.TextEdit{{
+			Pos:     rng.Pos(),
+			End:     rng.Body.Lbrace + 1,
+			NewText: b.Bytes(),
+		}},
+	}, true
+}
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex basic type, whose addition is not associative.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// containsIndex reports whether expr contains an index operation.
+func containsIndex(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.IndexExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// importsSort reports whether file imports package sort.
+func importsSort(file *ast.File) bool {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"sort"` {
+			return true
+		}
+	}
+	return false
+}
+
+// freshName returns base, or base with a numeric suffix, such that the name
+// does not collide with any identifier in the enclosing function.
+func freshName(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, base string) string {
+	scopeNode := ast.Node(file)
+	for _, n := range pathTo(file, rng) {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			scopeNode = fd
+		}
+	}
+	used := map[string]bool{}
+	ast.Inspect(scopeNode, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	name := base
+	for i := 1; used[name]; i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	return name
+}
+
+// render prints an expression compactly for diagnostics.
+func render(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "<expr>"
+	}
+	return b.String()
+}

@@ -1,0 +1,16 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"lcrb/internal/analysis/analysistest"
+	"lcrb/internal/analysis/mapiter"
+)
+
+func TestDiagnostics(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", mapiter.Analyzer)
+}
+
+func TestSuggestedFix(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", "fix", mapiter.Analyzer)
+}

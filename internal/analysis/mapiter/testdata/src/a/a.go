@@ -1,0 +1,63 @@
+// Package a exercises the mapiter analyzer: map ranges feeding
+// order-sensitive accumulation are flagged; sorted, per-key, or integer
+// uses are not.
+package a
+
+import "sort"
+
+// louvainGain reproduces the PR-1 Louvain bug shape: a float aggregate
+// built by scanning a map in runtime order differs in its last bits
+// between runs, so argmax ties broke differently run to run.
+func louvainGain(neighWeight map[int32]float64) float64 {
+	var total float64
+	for _, w := range neighWeight { // want `iterating over map neighWeight feeds order-sensitive accumulation \(float accumulation into total\); range over sorted keys instead`
+		total += w
+	}
+	return total
+}
+
+// unsortedKeys leaks the map order through the returned slice.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iterating over map m feeds order-sensitive accumulation \(append into out without a later sort\); range over sorted keys instead`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys is the sanctioned shape: a later sort launders the order.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// perKey accumulates into an indexed target: each key is visited exactly
+// once, so the per-element sums are order-independent.
+func perKey(m map[string]float64, acc map[string]float64) {
+	for k, v := range m {
+		acc[k] += v
+	}
+}
+
+// intSum is exact and commutative; integer accumulation is not flagged.
+func intSum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// suppressed documents a deliberate exception with the ignore directive.
+func suppressed(m map[int]float64) float64 {
+	var t float64
+	//lint:ignore mapiter tolerance-checked aggregate, order effects stay below epsilon
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,21 @@
+// Package fix exercises the mapiter suggested fix: when the loop shape is
+// mechanical (plain map identifier, ordered key type, sort imported) the
+// diagnostic carries the sorted-keys rewrite.
+package fix
+
+import "sort"
+
+func weightedLen(m map[string]float64) float64 {
+	var total float64
+	for k, v := range m { // want `iterating over map m feeds order-sensitive accumulation`
+		total += v * float64(len(k))
+	}
+	return total
+}
+
+// sortedCopy keeps the sort import in use before the fix is applied.
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

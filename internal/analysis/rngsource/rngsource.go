@@ -1,0 +1,124 @@
+// Package rngsource forbids stochastic code from bypassing the repo's
+// seeded-stream package lcrb/internal/rng. Every Monte-Carlo estimate in
+// the reproduction must be replayable bit-for-bit from a recorded seed, so:
+//
+//   - importing math/rand or math/rand/v2 anywhere outside internal/rng is
+//     a finding — their global functions draw from shared, randomly seeded
+//     state, and even explicit rand.New sources duplicate what internal/rng
+//     provides without Split semantics;
+//   - seeding any generator from the wall clock (a time.Now() call inside
+//     the seed expression of rand.New/NewSource/Seed or rng.New) is a
+//     finding everywhere, including tests, because a time-derived seed is
+//     unrecordable by construction.
+package rngsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"lcrb/internal/analysis"
+)
+
+// rngPkgPath is the blessed source of randomness; the package itself is
+// exempt from the import ban.
+const rngPkgPath = "lcrb/internal/rng"
+
+// Analyzer is the rngsource pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngsource",
+	Doc:  "forbid math/rand and time-derived seeds outside lcrb/internal/rng",
+	Run:  run,
+}
+
+// seedFuncs are functions whose arguments constitute a seed; a time.Now()
+// call anywhere inside one of them defeats replayability.
+var seedFuncs = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true, "Seed": true, "NewZipf": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true},
+	rngPkgPath:     {"New": true},
+}
+
+func run(pass *analysis.Pass) error {
+	inRNG := pass.Pkg.Path() == rngPkgPath
+	for _, file := range pass.Files {
+		if !inRNG {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(), "import of %s outside %s; draw randomness from a seeded *rng.Source instead", path, rngPkgPath)
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkgPath, name := fn.Pkg().Path(), fn.Name()
+			if !inRNG && (pkgPath == "math/rand" || pkgPath == "math/rand/v2") &&
+				fn.Type().(*types.Signature).Recv() == nil && !seedFuncs[pkgPath][name] {
+				pass.Reportf(call.Pos(), "%s.%s draws from the global math/rand stream; use a seeded *rng.Source from %s", pathBase(pkgPath), name, rngPkgPath)
+			}
+			if seedFuncs[pkgPath][name] && callsTimeNow(pass, call) {
+				pass.Reportf(call.Pos(), "%s.%s seeded from time.Now(); wall-clock seeds are not replayable, record an explicit seed", pathBase(pkgPath), name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calledFunc resolves the called package-level function or method, if any.
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// callsTimeNow reports whether a time.Now call appears in call's arguments.
+func callsTimeNow(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calledFunc(pass, c); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			break
+		}
+	}
+	return found
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

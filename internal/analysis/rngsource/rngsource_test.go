@@ -1,0 +1,18 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"lcrb/internal/analysis/analysistest"
+	"lcrb/internal/analysis/rngsource"
+)
+
+func TestOutsideRNG(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", rngsource.Analyzer)
+}
+
+// TestInsideRNG checks the blessed package under its real import path:
+// the import ban is lifted, the wall-clock seeding check is not.
+func TestInsideRNG(t *testing.T) {
+	analysistest.Run(t, "testdata", "lcrb/internal/rng", rngsource.Analyzer)
+}

@@ -1,0 +1,29 @@
+// Package a exercises the rngsource analyzer outside the blessed rng
+// package: math/rand imports are banned, global-stream draws are flagged,
+// and wall-clock seeds are flagged even on explicit generators.
+package a
+
+import (
+	"math/rand" // want `import of math/rand outside lcrb/internal/rng; draw randomness from a seeded \*rng\.Source instead`
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the global math/rand stream; use a seeded \*rng\.Source from lcrb/internal/rng`
+}
+
+func clockSeed() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want `rand\.NewSource seeded from time\.Now\(\); wall-clock seeds are not replayable, record an explicit seed`
+	return rand.New(src)
+}
+
+// explicitSeed passes the seeding checks: a recorded integer seed replays.
+func explicitSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// methodDraw passes the global-stream check: methods draw from the
+// explicit generator, not the shared package-level stream.
+func methodDraw(r *rand.Rand) int {
+	return r.Intn(6)
+}

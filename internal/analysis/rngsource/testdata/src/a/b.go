@@ -1,0 +1,7 @@
+package a
+
+import randv2 "math/rand/v2" // want `import of math/rand/v2 outside lcrb/internal/rng; draw randomness from a seeded \*rng\.Source instead`
+
+func v2Draw() uint64 {
+	return randv2.Uint64() // want `v2\.Uint64 draws from the global math/rand stream; use a seeded \*rng\.Source from lcrb/internal/rng`
+}

@@ -1,0 +1,27 @@
+// Package rng is type-checked under the blessed import path: the
+// math/rand ban does not apply inside it, but wall-clock seeding is still
+// flagged — a time-derived seed is unrecordable wherever it appears.
+package rng
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Source wraps a seeded generator.
+type Source struct{ r *rand.Rand }
+
+// New returns a Source seeded deterministically.
+func New(seed uint64) *Source {
+	return &Source{r: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// globalOK shows the import-path exemption: inside this package the
+// underlying streams are fair game.
+func globalOK() int {
+	return rand.Intn(3)
+}
+
+func fromClock() *Source {
+	return New(uint64(time.Now().UnixNano())) // want `rng\.New seeded from time\.Now\(\); wall-clock seeds are not replayable, record an explicit seed`
+}

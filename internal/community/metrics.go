@@ -2,6 +2,7 @@ package community
 
 import (
 	"math"
+	"sort"
 
 	"lcrb/internal/graph"
 )
@@ -39,10 +40,23 @@ func NMI(a, b *Partition) float64 {
 	for i := 0; i < n; i++ {
 		joint[[2]int32{a.assign[i], b.assign[i]}]++
 	}
+	// Sum the mutual information over sorted cell keys: float addition is
+	// order-sensitive in the last bits, and map iteration order would make
+	// NMI differ between reruns of the same partitions.
+	cells := make([][2]int32, 0, len(joint))
+	for key := range joint {
+		cells = append(cells, key)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i][0] != cells[j][0] {
+			return cells[i][0] < cells[j][0]
+		}
+		return cells[i][1] < cells[j][1]
+	})
 	fn := float64(n)
 	var mi float64
-	for key, cnt := range joint {
-		pab := float64(cnt) / fn
+	for _, key := range cells {
+		pab := float64(joint[key]) / fn
 		pa := float64(a.sizes[key[0]]) / fn
 		pb := float64(b.sizes[key[1]]) / fn
 		mi += pab * math.Log(pab/(pa*pb))

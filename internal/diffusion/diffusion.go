@@ -121,11 +121,16 @@ type ContextModel interface {
 	RunContext(ctx context.Context, g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error)
 }
 
-// RunModel runs m under ctx, routing through RunContext when the model
-// supports it. Models without context support are run to completion after
-// an up-front cancellation check; their bounded step loops keep the latency
-// of a missed cancellation finite.
-func RunModel(ctx context.Context, m Model, g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
+// RunModel runs m without cancellation; see RunModelContext.
+func RunModel(m Model, g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
+	return RunModelContext(context.Background(), m, g, rumors, protectors, src, opts)
+}
+
+// RunModelContext runs m under ctx, routing through RunContext when the
+// model supports it. Models without context support are run to completion
+// after an up-front cancellation check; their bounded step loops keep the
+// latency of a missed cancellation finite.
+func RunModelContext(ctx context.Context, m Model, g *graph.Graph, rumors, protectors []int32, src *rng.Source, opts Options) (*Result, error) {
 	if m == nil {
 		return nil, fmt.Errorf("diffusion: run: nil model")
 	}

@@ -105,5 +105,5 @@ func (fm *faultModel) RunContext(ctx context.Context, g *graph.Graph, rumors, pr
 	if err := fm.f.fire(); err != nil {
 		return nil, err
 	}
-	return RunModel(ctx, fm.m, g, rumors, protectors, src, opts)
+	return RunModelContext(ctx, fm.m, g, rumors, protectors, src, opts)
 }

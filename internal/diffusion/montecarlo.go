@@ -200,7 +200,7 @@ func (mc MonteCarlo) runChunk(ctx context.Context, g *graph.Graph, rumors, prote
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("diffusion: sample %d: %w", i, err)
 		}
-		res, err := RunModel(ctx, mc.Model, g, rumors, protectors, rng.New(seeds[i]), opts)
+		res, err := RunModelContext(ctx, mc.Model, g, rumors, protectors, rng.New(seeds[i]), opts)
 		if err != nil {
 			return nil, fmt.Errorf("diffusion: sample %d: %w", i, err)
 		}

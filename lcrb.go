@@ -273,7 +273,9 @@ func NewProblem(g *Graph, assign []int32, rumorCommunity int32, rumors []int32) 
 // SolveSCBG runs the Set-Cover-Based Greedy algorithm for LCRB-D (protect
 // every bridge end under the DOAM model). O(ln n)-approximate, which is
 // optimal unless P = NP.
-func SolveSCBG(p *Problem, opts SCBGOptions) (*SCBGResult, error) { return core.SCBG(p, opts) }
+func SolveSCBG(p *Problem, opts SCBGOptions) (*SCBGResult, error) {
+	return SolveSCBGContext(context.Background(), p, opts)
+}
 
 // SolveSCBGContext is SolveSCBG with cancellation support.
 func SolveSCBGContext(ctx context.Context, p *Problem, opts SCBGOptions) (*SCBGResult, error) {
@@ -283,7 +285,9 @@ func SolveSCBGContext(ctx context.Context, p *Problem, opts SCBGOptions) (*SCBGR
 // SolveGreedy runs the submodular greedy algorithm for LCRB-P (protect an
 // α fraction of the bridge ends under the OPOAO model). (1-1/e)-approximate
 // with respect to the Monte-Carlo σ̂ estimate.
-func SolveGreedy(p *Problem, opts GreedyOptions) (*GreedyResult, error) { return core.Greedy(p, opts) }
+func SolveGreedy(p *Problem, opts GreedyOptions) (*GreedyResult, error) {
+	return SolveGreedyContext(context.Background(), p, opts)
+}
 
 // SolveGreedyContext is SolveGreedy with cancellation, deadline, and
 // evaluation-budget support. When the context or a GreedyOptions budget
@@ -296,18 +300,18 @@ func SolveGreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*G
 // Simulate runs one two-cascade diffusion with the given model. seed drives
 // stochastic models; deterministic models ignore it.
 func Simulate(m Model, g *Graph, rumors, protectors []int32, seed uint64, opts SimOptions) (*SimResult, error) {
-	return m.Run(g, rumors, protectors, rng.New(seed), opts)
+	return SimulateContext(context.Background(), m, g, rumors, protectors, seed, opts)
 }
 
 // SimulateContext is Simulate with per-hop cancellation checks on models
 // that support them.
 func SimulateContext(ctx context.Context, m Model, g *Graph, rumors, protectors []int32, seed uint64, opts SimOptions) (*SimResult, error) {
-	return diffusion.RunModel(ctx, m, g, rumors, protectors, rng.New(seed), opts)
+	return diffusion.RunModelContext(ctx, m, g, rumors, protectors, rng.New(seed), opts)
 }
 
 // SelectHeuristic returns the top k protector seeds of a baseline selector.
-func SelectHeuristic(sel Selector, ctx SelectorContext, k int, seed uint64) ([]int32, error) {
-	return heuristic.Select(sel, ctx, k, rng.New(seed))
+func SelectHeuristic(sel Selector, sctx SelectorContext, k int, seed uint64) ([]int32, error) {
+	return SelectHeuristicContext(context.Background(), sel, sctx, k, seed)
 }
 
 // SelectHeuristicContext is SelectHeuristic with cancellation support.

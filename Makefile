@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-fix ci bench clean
+.PHONY: all build vet test race lint lint-fix ci bench bench-all clean
 
 all: ci
 
@@ -35,8 +35,16 @@ lint-fix:
 # then the full suite under the race detector.
 ci: lint build race
 
+# bench runs the greedy σ̂ micro-benchmark (serial vs parallel workers) and
+# the end-to-end perf harness, which writes BENCH_greedy.json and fails if
+# the parallel selection is not bit-identical to the serial one.
 bench:
-	$(GO) test -bench . -benchtime 1x
+	$(GO) test -run '^$$' -bench BenchmarkGreedySigma -benchtime 1x ./internal/core/
+	$(GO) run ./cmd/lcrbbench -perf BENCH_greedy.json
+
+# bench-all runs every benchmark in the repo once.
+bench-all:
+	$(GO) test -bench . -benchtime 1x ./...
 
 clean:
 	$(GO) clean ./...

@@ -52,16 +52,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lcrbbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment: fig4..fig9, table1, opoao, doam, alpha, detector, noise, nullmodel, extended, transfer or all")
-		scale    = fs.Float64("scale", 0.1, "network scale (1.0 = paper size; expect long runtimes)")
-		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		quiet    = fs.Bool("quiet", false, "suppress progress output on stderr")
-		timeout  = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
-		ckptPath = fs.String("checkpoint", "", "snapshot completed experiments to this file after each job")
-		resume   = fs.Bool("resume", false, "replay completed experiments from -checkpoint and continue")
+		exp       = fs.String("exp", "all", "experiment: fig4..fig9, table1, opoao, doam, alpha, detector, noise, nullmodel, extended, transfer or all")
+		scale     = fs.Float64("scale", 0.1, "network scale (1.0 = paper size; expect long runtimes)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		quiet     = fs.Bool("quiet", false, "suppress progress output on stderr")
+		timeout   = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+		ckptPath  = fs.String("checkpoint", "", "snapshot completed experiments to this file after each job")
+		resume    = fs.Bool("resume", false, "replay completed experiments from -checkpoint and continue")
+		workers   = fs.Int("workers", 0, "parallel evaluation goroutines (0/1 = serial, -1 = all cores); results are identical for every value")
+		perfPath  = fs.String("perf", "", "skip the experiments: run the serial-vs-parallel greedy benchmark and write its JSON report to this file")
+		perfScale = fs.Float64("perf-scale", 0.08, "network scale of the -perf benchmark instance")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *perfPath != "" {
+		return runPerf(ctx, *perfPath, *perfScale, *workers, stdout, stderr)
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -75,6 +81,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	jobs, err := selectJobs(*exp, *scale)
 	if err != nil {
 		return err
+	}
+	// Worker count never changes an experiment's numbers (σ̂ evaluation and
+	// the Monte-Carlo sweeps are bit-identical for every count), so it is
+	// applied after job selection and kept out of the fingerprint below: a
+	// serial checkpoint resumes a parallel sweep and vice versa.
+	for i := range jobs {
+		jobs[i].cfg.Workers = *workers
 	}
 
 	// The fingerprint binds a checkpoint to the flags that shape the output,

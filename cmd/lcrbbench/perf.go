@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"lcrb/internal/community"
+	"lcrb/internal/core"
+	"lcrb/internal/gen"
+	"lcrb/internal/rng"
+)
+
+// perfReport is the JSON document -perf writes (BENCH_greedy.json in the
+// Makefile's bench target): one serial and one parallel LCRB-P greedy
+// solve of the same instance, with the wall-clock of each and a
+// bit-identity verdict. The report is the start of the repo's performance
+// trajectory — later PRs append comparable numbers.
+type perfReport struct {
+	Bench      string  `json:"bench"`
+	Dataset    string  `json:"dataset"`
+	Scale      float64 `json:"scale"`
+	Nodes      int32   `json:"nodes"`
+	Edges      int64   `json:"edges"`
+	NumRumors  int     `json:"num_rumors"`
+	NumEnds    int     `json:"num_ends"`
+	Samples    int     `json:"samples"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+	// Identical confirms the two runs selected byte-identical protector
+	// sets with identical gains and evaluation counts — the worker-count
+	// invariance guarantee, checked on every bench run.
+	Identical   bool `json:"identical"`
+	Protectors  int  `json:"protectors"`
+	Evaluations int  `json:"evaluations"`
+}
+
+// runPerf solves one LCRB-P instance twice — serial and parallel σ̂
+// evaluation — and writes the timing comparison to path as JSON.
+func runPerf(ctx context.Context, path string, scale float64, workers int, stdout, stderr io.Writer) error {
+	const seed = 1
+	net, err := gen.Hep(scale, seed)
+	if err != nil {
+		return err
+	}
+	part := community.Louvain(net.Graph, community.LouvainOptions{Seed: seed})
+	comm := part.ClosestBySize(80)
+	members := part.Members(comm)
+	src := rng.New(seed + 100)
+	k := int32(len(members) / 10)
+	if k < 2 {
+		k = 2
+	}
+	var rumors []int32
+	for _, i := range src.SampleInt32(int32(len(members)), k) {
+		rumors = append(rumors, members[i])
+	}
+	prob, err := core.NewProblem(net.Graph, part.Assign(), comm, rumors)
+	if err != nil {
+		return err
+	}
+
+	// The parallel leg uses at least two workers even on a single-core
+	// box, so the concurrent batch path (and its bit-identity) is always
+	// exercised; -workers overrides.
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
+	}
+
+	opts := core.GreedyOptions{Alpha: 0.9, Samples: 30, Seed: 7, Workers: 1}
+	fmt.Fprintf(stderr, "perf: hep scale %g: |C| = %d, |R| = %d, |B| = %d\n",
+		scale, len(members), len(rumors), prob.NumEnds())
+
+	start := time.Now()
+	serial, err := core.GreedyContext(ctx, prob, opts)
+	if err != nil {
+		return fmt.Errorf("serial greedy: %w", err)
+	}
+	serialNs := time.Since(start)
+
+	opts.Workers = workers
+	start = time.Now()
+	parallel, err := core.GreedyContext(ctx, prob, opts)
+	if err != nil {
+		return fmt.Errorf("parallel greedy: %w", err)
+	}
+	parallelNs := time.Since(start)
+
+	rep := perfReport{
+		Bench:      "greedy-sigma",
+		Dataset:    "hep",
+		Scale:      scale,
+		Nodes:      net.Graph.NumNodes(),
+		Edges:      net.Graph.NumEdges(),
+		NumRumors:  len(rumors),
+		NumEnds:    prob.NumEnds(),
+		Samples:    opts.Samples,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		SerialNs:   serialNs.Nanoseconds(),
+		ParallelNs: parallelNs.Nanoseconds(),
+		Speedup:    float64(serialNs) / float64(parallelNs),
+		Identical: reflect.DeepEqual(serial.Protectors, parallel.Protectors) &&
+			reflect.DeepEqual(serial.Gains, parallel.Gains) &&
+			serial.Evaluations == parallel.Evaluations &&
+			serial.ProtectedEnds == parallel.ProtectedEnds,
+		Protectors:  len(serial.Protectors),
+		Evaluations: serial.Evaluations,
+	}
+	if !rep.Identical {
+		return fmt.Errorf("perf: parallel selection diverged from serial: %v vs %v",
+			parallel.Protectors, serial.Protectors)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "greedy σ̂ bench: serial %v, parallel %v (%d workers, %d cores): %.2fx, identical=%v\n",
+		serialNs.Round(time.Millisecond), parallelNs.Round(time.Millisecond),
+		workers, rep.GoMaxProcs, rep.Speedup, rep.Identical)
+	fmt.Fprintf(stderr, "perf: report written to %s\n", path)
+	return nil
+}

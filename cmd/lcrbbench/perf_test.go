@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunPerfWritesReport drives the -perf mode end to end on a tiny
+// instance and checks the emitted JSON: sane metadata, both timings
+// recorded, and the bit-identity verdict true (runPerf errors otherwise).
+func TestRunPerfWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_greedy.json")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-perf", path, "-perf-scale", "0.03"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep perfReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf)
+	}
+	if rep.Bench != "greedy-sigma" || rep.Dataset != "hep" {
+		t.Fatalf("report metadata = %q/%q", rep.Bench, rep.Dataset)
+	}
+	if rep.Nodes <= 0 || rep.Edges <= 0 || rep.NumEnds <= 0 {
+		t.Fatalf("instance shape missing: %+v", rep)
+	}
+	if rep.SerialNs <= 0 || rep.ParallelNs <= 0 || rep.Speedup <= 0 {
+		t.Fatalf("timings missing: %+v", rep)
+	}
+	if rep.Workers < 2 {
+		t.Fatalf("parallel leg ran with %d workers", rep.Workers)
+	}
+	if !rep.Identical {
+		t.Fatalf("bit-identity verdict false: %+v", rep)
+	}
+	if rep.Protectors <= 0 || rep.Evaluations <= 0 {
+		t.Fatalf("solution summary missing: %+v", rep)
+	}
+}

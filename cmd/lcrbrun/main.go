@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		budget    = fs.Int("budget", 0, "protector budget for heuristics (default |R|)")
 		hops      = fs.Int("hops", 31, "simulation horizon")
 		samples   = fs.Int("samples", 50, "Monte-Carlo samples for stochastic models")
+		workers   = fs.Int("workers", 0, "parallel evaluation goroutines (0/1 = serial, -1 = all cores); results are identical for every value")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		ckptPath  = fs.String("checkpoint", "", "checkpoint file recording the selected protectors")
 		resume    = fs.Bool("resume", false, "reuse protectors from -checkpoint instead of re-selecting")
@@ -106,6 +107,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// result so an interrupted or repeated run can skip straight to the
 	// simulation. The fingerprint covers every flag that influences
 	// selection, so a checkpoint never leaks across configurations.
+	// -workers is deliberately absent: selection is bit-identical for every
+	// worker count, so a checkpoint written serially resumes a parallel run
+	// (and vice versa).
 	fingerprint := fmt.Sprintf(
 		"lcrbrun graph=%s communities=%s dataset=%s scale=%g seed=%d community-size=%d rumor-frac=%g algorithm=%s alpha=%g budget=%d samples=%d hops=%d",
 		*graphPath, *commPath, *dataset, *scale, *seed, *commSize, *rumorFrac, *algorithm, *alpha, *budget, *samples, *hops)
@@ -134,7 +138,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if !restored {
-		protectors, err = selectProtectors(ctx, stderr, *algorithm, prob, g, rumors, *alpha, *budget, *samples, *hops, *seed, src)
+		protectors, err = selectProtectors(ctx, stderr, *algorithm, prob, g, rumors, *alpha, *budget, *samples, *hops, *workers, *seed, src)
 		if err != nil {
 			return err
 		}
@@ -147,7 +151,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "algorithm %s selected %d protectors\n", *algorithm, len(protectors))
 
-	if err := simulate(ctx, stdout, *model, g, rumors, protectors, prob.Ends, *icProb, *hops, *samples, *seed); err != nil {
+	if err := simulate(ctx, stdout, *model, g, rumors, protectors, prob.Ends, *icProb, *hops, *samples, *workers, *seed); err != nil {
 		return err
 	}
 	// A completed run cleans up after itself; the checkpoint only matters
@@ -220,7 +224,7 @@ func loadNetwork(graphPath, commPath, dataset string, scale float64, seed uint64
 }
 
 // selectProtectors dispatches on the algorithm name.
-func selectProtectors(ctx context.Context, stderr io.Writer, algorithm string, prob *core.Problem, g *graph.Graph, rumors []int32, alpha float64, budget, samples, hops int, seed uint64, src *rng.Source) ([]int32, error) {
+func selectProtectors(ctx context.Context, stderr io.Writer, algorithm string, prob *core.Problem, g *graph.Graph, rumors []int32, alpha float64, budget, samples, hops, workers int, seed uint64, src *rng.Source) ([]int32, error) {
 	if budget <= 0 {
 		budget = len(rumors)
 	}
@@ -241,6 +245,7 @@ func selectProtectors(ctx context.Context, stderr io.Writer, algorithm string, p
 	case "greedy":
 		res, err := core.GreedyContext(ctx, prob, core.GreedyOptions{
 			Alpha: alpha, Samples: samples / 2, Seed: seed + 200, MaxHops: hops,
+			Workers: workers,
 		})
 		if err != nil {
 			if errors.Is(err, core.ErrNoBridgeEnds) {
@@ -280,7 +285,7 @@ func selectProtectors(ctx context.Context, stderr io.Writer, algorithm string, p
 }
 
 // simulate runs the chosen model and prints the outcome.
-func simulate(ctx context.Context, stdout io.Writer, model string, g *graph.Graph, rumors, protectors, ends []int32, icProb float64, hops, samples int, seed uint64) error {
+func simulate(ctx context.Context, stdout io.Writer, model string, g *graph.Graph, rumors, protectors, ends []int32, icProb float64, hops, samples, workers int, seed uint64) error {
 	var m diffusion.Model
 	switch model {
 	case "doam":
@@ -303,7 +308,7 @@ func simulate(ctx context.Context, stdout io.Writer, model string, g *graph.Grap
 		printOutcome(stdout, float64(res.Infected), float64(res.Protected), countInfectedEnds(res.Status, ends), len(ends))
 		return nil
 	}
-	agg, err := diffusion.MonteCarlo{Model: m, Samples: samples, Seed: seed + 300}.RunContext(ctx, g, rumors, protectors, opts)
+	agg, err := diffusion.MonteCarlo{Model: m, Samples: samples, Seed: seed + 300, Workers: workers}.RunContext(ctx, g, rumors, protectors, opts)
 	if err != nil {
 		return err
 	}

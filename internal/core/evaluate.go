@@ -55,13 +55,22 @@ func EvaluateContext(ctx context.Context, p *Problem, protectors []int32, opts E
 	if opts.Model == nil {
 		opts.Model = diffusion.DOAM{}
 	}
-	if opts.Samples <= 0 {
+	// Zero means "use the default"; negative is a caller bug and is
+	// rejected, matching GreedyContext — silently coercing it would mask a
+	// sign error in a sample-budget computation.
+	if opts.Samples < 0 {
+		return nil, fmt.Errorf("core: evaluate: samples = %d must be positive", opts.Samples)
+	}
+	if opts.Samples == 0 {
 		opts.Samples = 50
 	}
 	if _, deterministic := opts.Model.(diffusion.DOAM); deterministic {
 		opts.Samples = 1
 	}
-	if opts.MaxHops <= 0 {
+	if opts.MaxHops < 0 {
+		return nil, fmt.Errorf("core: evaluate: max hops = %d must be positive", opts.MaxHops)
+	}
+	if opts.MaxHops == 0 {
 		opts.MaxHops = DefaultGreedyHops
 	}
 	agg, err := diffusion.MonteCarlo{

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"lcrb/internal/diffusion"
@@ -67,6 +68,35 @@ func TestEvaluateStochasticModel(t *testing.T) {
 func TestEvaluateValidation(t *testing.T) {
 	if _, err := Evaluate(nil, nil, EvaluateOptions{}); err == nil {
 		t.Fatal("nil problem accepted")
+	}
+}
+
+// TestEvaluateRejectsNegativeOptions pins the validation fix: negative
+// Samples and MaxHops used to be silently coerced to the defaults; they
+// are now rejected with the package's error convention, matching what
+// GreedyContext does. Zero still means "use the default".
+func TestEvaluateRejectsNegativeOptions(t *testing.T) {
+	p := fixtureProblem(t)
+	for _, tt := range []struct {
+		name string
+		opts EvaluateOptions
+	}{
+		{"negative samples", EvaluateOptions{Samples: -3}},
+		{"negative hops", EvaluateOptions{MaxHops: -1}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Evaluate(p, []int32{4}, tt.opts)
+			if err == nil {
+				t.Fatalf("%+v accepted", tt.opts)
+			}
+			if !strings.HasPrefix(err.Error(), "core: evaluate: ") {
+				t.Fatalf("err = %q, want \"core: evaluate: \" prefix", err)
+			}
+		})
+	}
+	// Zero-valued options still default rather than error.
+	if _, err := Evaluate(p, []int32{4}, EvaluateOptions{}); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
 	}
 }
 

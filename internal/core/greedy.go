@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -67,6 +68,17 @@ type GreedyOptions struct {
 	// has one; MaxDuration exists for budgeting a single solve inside a
 	// longer-lived context.
 	MaxDuration time.Duration
+	// Workers parallelizes σ̂ evaluation on up to this many goroutines: the
+	// candidate batches of every plain round and of the CELF
+	// initialization round run concurrently across seed sets, and single
+	// estimates (the baseline, CELF re-evaluations) run concurrently
+	// across their Monte-Carlo samples. 0 or 1 means serial; negative
+	// means GOMAXPROCS. The selection — Protectors, Gains, Evaluations,
+	// ProtectedEnds — is bit-identical for every worker count, because the
+	// common-random-numbers realizations are pure functions of
+	// (realization seed, seed set) and budget accounting is committed in
+	// submission order.
+	Workers int
 }
 
 // DefaultMaxCandidates bounds the greedy's default candidate pool. Every
@@ -125,7 +137,10 @@ func Greedy(p *Problem, opts GreedyOptions) (*GreedyResult, error) {
 // returned as a non-nil *GreedyResult with Partial set, alongside an error
 // wrapping the cause (context.Canceled, context.DeadlineExceeded or
 // ErrBudgetExhausted). A failing σ̂ evaluation (for example from a broken
-// custom Realization) follows the same contract instead of panicking.
+// custom Realization) follows the same contract instead of panicking; a
+// *panicking* realization is recovered into an error wrapping
+// diffusion.ErrPanic, so a buggy engine cannot tear down the evaluation
+// worker pool.
 func GreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*GreedyResult, error) {
 	if p == nil {
 		return nil, fmt.Errorf("core: greedy: nil problem")
@@ -169,13 +184,22 @@ func GreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*Greedy
 	if realization == nil {
 		realization = diffusion.RunOPOAORealization
 	}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	ev := &sigmaEvaluator{
 		ctx:       ctx,
 		p:         p,
 		realSeeds: realSeeds,
 		maxHops:   opts.MaxHops,
 		run:       realization,
+		workers:   workers,
 		maxEvals:  opts.MaxEvaluations,
+		cache:     make(map[string]float64),
 	}
 	if opts.MaxDuration > 0 {
 		ev.deadline = time.Now().Add(opts.MaxDuration)
@@ -279,67 +303,26 @@ func greedyCandidates(p *Problem, opts GreedyOptions) ([]int32, error) {
 	return out, nil
 }
 
-// sigmaEvaluator estimates σ̂(A) over the fixed realizations, enforcing the
-// context and the evaluation/wall-clock budgets.
-type sigmaEvaluator struct {
-	ctx       context.Context
-	p         *Problem
-	realSeeds []uint64
-	maxHops   int
-	run       diffusion.Realization
-	evals     int       // σ̂ evaluations performed
-	maxEvals  int       // 0 = unlimited
-	deadline  time.Time // zero = no wall-clock budget
-}
-
-// estimate returns the mean number of bridge ends left uninfected when the
-// given protector seed set is used. It fails fast on cancellation, budget
-// expiry, or a realization error — callers receive the wrapped cause and
-// decide whether the partial selection is still useful.
-func (ev *sigmaEvaluator) estimate(protectors []int32) (float64, error) {
-	if err := ev.ctx.Err(); err != nil {
-		return 0, err
-	}
-	if ev.maxEvals > 0 && ev.evals >= ev.maxEvals {
-		return 0, fmt.Errorf("%w: %d evaluations used", ErrBudgetExhausted, ev.evals)
-	}
-	if !ev.deadline.IsZero() && !time.Now().Before(ev.deadline) {
-		return 0, fmt.Errorf("%w: wall-clock budget spent after %d evaluations", ErrBudgetExhausted, ev.evals)
-	}
-	ev.evals++
-	var total int
-	for i, seed := range ev.realSeeds {
-		if err := ev.ctx.Err(); err != nil {
-			return 0, err
-		}
-		res, err := ev.run(
-			ev.p.Graph, ev.p.Rumors, protectors, seed,
-			diffusion.Options{MaxHops: ev.maxHops},
-		)
-		if err != nil {
-			return 0, fmt.Errorf("core: sigma sample %d: %w", i, err)
-		}
-		for _, e := range ev.p.Ends {
-			if res.Status[e] != diffusion.Infected {
-				total++
-			}
-		}
-	}
-	return float64(total) / float64(len(ev.realSeeds)), nil
-}
-
 // plainLoop is algorithm 1 verbatim: every remaining candidate is
-// re-evaluated in every round. An evaluator failure stops the loop with the
+// re-evaluated in every round, as one concurrent batch (the scan is
+// embarrassingly parallel — no candidate's value depends on another's).
+// Each extension gets its own freshly copied seed set; extending with
+// append(*selected, u) would alias selected's spare backing capacity
+// across the whole batch. An evaluator failure stops the loop with the
 // selection made so far intact.
 func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) error {
 	remaining := append([]int32(nil), candidates...)
 	for *score < target && len(*selected) < maxProtectors && len(remaining) > 0 {
-		bestIdx, bestScore := -1, *score
+		sets := make([][]int32, len(remaining))
 		for i, u := range remaining {
-			s, err := ev.estimate(append(*selected, u))
-			if err != nil {
-				return err
-			}
+			sets[i] = extendSet(*selected, u)
+		}
+		vals, err := ev.estimateBatch(sets)
+		if err != nil {
+			return err
+		}
+		bestIdx, bestScore := -1, *score
+		for i, s := range vals {
 			if s > bestScore {
 				bestIdx, bestScore = i, s
 			}
@@ -359,11 +342,28 @@ func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selecte
 // an upper bound on its current one, so candidates are kept in a max-heap
 // of stale gains and only re-evaluated when they surface. An evaluator
 // failure stops the loop with the selection made so far intact.
+//
+// Round 0 is batched: the classic formulation seeds the heap with infinite
+// stale gains, which forces exactly one evaluation per candidate before
+// the first selection (no real gain can exceed |B|, so every sentinel pops
+// first). Evaluating that forced sweep as one concurrent batch yields the
+// identical heap state — same gains against the same baseline — while
+// exposing the algorithm's one embarrassingly parallel phase.
 func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) error {
+	if *score >= target || len(*selected) >= maxProtectors || len(candidates) == 0 {
+		return nil
+	}
+	sets := make([][]int32, len(candidates))
+	for i, u := range candidates {
+		sets[i] = extendSet(*selected, u)
+	}
+	vals, err := ev.estimateBatch(sets)
+	if err != nil {
+		return err
+	}
 	pq := make(celfQueue, len(candidates))
 	for i, u := range candidates {
-		// Infinity as the initial stale gain forces one evaluation each.
-		pq[i] = celfEntry{node: u, gain: float64(len(ev.p.Ends)) + 1, round: -1}
+		pq[i] = celfEntry{node: u, gain: vals[i] - *score, round: 0}
 	}
 	heap.Init(&pq)
 
@@ -381,7 +381,7 @@ func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected
 			round++
 			continue
 		}
-		s, err := ev.estimate(append(*selected, top.node))
+		s, err := ev.estimate(extendSet(*selected, top.node))
 		if err != nil {
 			return err
 		}

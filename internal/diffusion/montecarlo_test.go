@@ -2,6 +2,8 @@ package diffusion
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"lcrb/internal/gen"
@@ -65,5 +67,59 @@ func TestMonteCarloParallelErrorPropagates(t *testing.T) {
 		Run(g, []int32{99}, nil, Options{})
 	if err == nil {
 		t.Fatal("sample error swallowed by the parallel path")
+	}
+}
+
+// TestMonteCarloBitIdentical is the exact version of the tolerance checks
+// above: every Aggregate field must be byte-identical between the serial
+// and the parallel runs. Exactness holds because each per-sample
+// contribution is an integer count, so the float64 sums commute without
+// rounding — the guarantee the parallel greedy σ̂ evaluator relies on.
+func TestMonteCarloBitIdentical(t *testing.T) {
+	g, err := gen.ErdosRenyi(120, 500, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		name string
+		mc   MonteCarlo
+		opts Options
+	}{
+		{"opoao-hops", MonteCarlo{Model: OPOAO{}, Samples: 20, Seed: 5}, Options{MaxHops: 15, RecordHops: true}},
+		{"doam", MonteCarlo{Model: DOAM{}, Samples: 20, Seed: 6}, Options{MaxHops: 15}},
+		{"ic", MonteCarlo{Model: CompetitiveIC{P: 0.2}, Samples: 20, Seed: 7}, Options{MaxHops: 15, RecordHops: true}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			serial, err := tt.mc.Run(g, []int32{0, 1}, []int32{2, 3}, tt.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+				mc := tt.mc
+				mc.Workers = workers
+				parallel, err := mc.Run(g, []int32{0, 1}, []int32{2, 3}, tt.opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if parallel.Samples != serial.Samples {
+					t.Fatalf("workers=%d: Samples = %d, want %d", workers, parallel.Samples, serial.Samples)
+				}
+				if parallel.MeanInfected != serial.MeanInfected {
+					t.Fatalf("workers=%d: MeanInfected = %v, want %v", workers, parallel.MeanInfected, serial.MeanInfected)
+				}
+				if parallel.MeanProtected != serial.MeanProtected {
+					t.Fatalf("workers=%d: MeanProtected = %v, want %v", workers, parallel.MeanProtected, serial.MeanProtected)
+				}
+				if !reflect.DeepEqual(parallel.InfectedProb, serial.InfectedProb) {
+					t.Fatalf("workers=%d: InfectedProb diverged", workers)
+				}
+				if !reflect.DeepEqual(parallel.MeanInfectedAtHop, serial.MeanInfectedAtHop) {
+					t.Fatalf("workers=%d: MeanInfectedAtHop diverged", workers)
+				}
+				if !reflect.DeepEqual(parallel.MeanProtectedAtHop, serial.MeanProtectedAtHop) {
+					t.Fatalf("workers=%d: MeanProtectedAtHop diverged", workers)
+				}
+			}
+		})
 	}
 }

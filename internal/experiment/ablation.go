@@ -70,6 +70,7 @@ func RunAlphaSweepContext(ctx context.Context, inst *Instance, alphas []float64)
 			Samples: cfg.GreedySamples,
 			Seed:    cfg.Seed + 10,
 			MaxHops: cfg.Hops,
+			Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: alpha sweep: alpha %v: %w", alpha, err)
@@ -78,6 +79,7 @@ func RunAlphaSweepContext(ctx context.Context, inst *Instance, alphas []float64)
 			Model:   diffusion.OPOAO{},
 			Samples: cfg.MCSamples,
 			Seed:    cfg.Seed + 11,
+			Workers: cfg.Workers,
 		}.RunContext(ctx, inst.Net.Graph, rumors, res.Protectors, diffusion.Options{MaxHops: cfg.Hops})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: alpha sweep: simulate: %w", err)

@@ -53,6 +53,11 @@ type Config struct {
 	// GreedySamples is the Monte-Carlo sample count inside the LCRB-P
 	// greedy's σ̂ estimator.
 	GreedySamples int
+	// Workers parallelizes σ̂ evaluation inside the LCRB-P greedy (see
+	// core.GreedyOptions.Workers): 0 or 1 means serial, negative means
+	// GOMAXPROCS. Results are bit-identical for every worker count, so
+	// Workers never appears in checkpoint fingerprints.
+	Workers int
 	// Trials averages Table I rows over this many rumor-seed draws.
 	Trials int
 	// UseLabelProp switches the community-detection front end from

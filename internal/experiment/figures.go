@@ -89,6 +89,7 @@ func RunFigureOPOAOContext(ctx context.Context, inst *Instance) (*FigureResult, 
 				Seed:          cfg.Seed + 3,
 				MaxHops:       cfg.Hops,
 				MaxProtectors: budget,
+				Workers:       cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s: greedy: %w", cfg.Name, err)
@@ -121,6 +122,7 @@ func RunFigureOPOAOContext(ctx context.Context, inst *Instance) (*FigureResult, 
 				Model:   diffusion.OPOAO{},
 				Samples: cfg.MCSamples,
 				Seed:    cfg.Seed + 4,
+				Workers: cfg.Workers,
 			}.RunContext(ctx, inst.Net.Graph, rumors, protectors, diffusion.Options{
 				MaxHops:    cfg.Hops,
 				RecordHops: true,

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-fix ci bench bench-all clean
+.PHONY: all build vet test race lint lint-fix ci bench bench-all serve serve-smoke clean
 
 all: ci
 
@@ -32,8 +32,19 @@ lint-fix:
 	$(GO) run ./cmd/lcrblint -fix -vet=false ./...
 
 # ci is the gate the workflow runs: lint (fmt + vet + analyzers), build,
-# then the full suite under the race detector.
-ci: lint build race
+# the full suite under the race detector, then the serving smoke test.
+ci: lint build race serve-smoke
+
+# serve boots the lcrbd solve daemon on the default address with fast
+# defaults; Ctrl-C drains, a second Ctrl-C force-quits.
+serve:
+	$(GO) run ./cmd/lcrbd -addr 127.0.0.1:8080 -scale 0.05
+
+# serve-smoke boots lcrbd on a random port, runs a normal solve, an
+# over-deadline solve (which must answer degraded, not error), and a
+# SIGTERM drain that must exit 0. See scripts/serve_smoke.sh.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # bench runs the greedy σ̂ micro-benchmark (serial vs parallel workers) and
 # the end-to-end perf harness, which writes BENCH_greedy.json and fails if

@@ -26,16 +26,21 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"time"
 
 	"lcrb/internal/checkpoint"
 	"lcrb/internal/experiment"
 	"lcrb/internal/gen"
+	"lcrb/internal/resilience"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	interrupt := resilience.Interrupt{
+		OnFirst: func() {
+			fmt.Fprintln(os.Stderr, "lcrbbench: interrupt received, draining — press again to force quit")
+		},
+	}
+	ctx, stop := interrupt.Notify()
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "lcrbbench:", err)

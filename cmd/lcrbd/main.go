@@ -1,0 +1,133 @@
+// Command lcrbd serves rumor-blocking solves over HTTP with a
+// deadline-aware fallback ladder: an exact CELF greedy answer when the
+// request budget allows, an SCBG cover or a Proximity/MaxDegree ranking —
+// honestly tagged "degraded" — when it does not. The daemon never answers
+// a bare 503: overload sheds with a typed 429, a broken instance builder
+// opens a circuit with a typed 503, and SIGTERM drains in-flight solves
+// (checkpointing interrupted greedy prefixes) before exiting 0.
+//
+// Usage:
+//
+//	lcrbd -addr 127.0.0.1:8080 -scale 0.05 -deadline 10s
+//	curl -XPOST localhost:8080/v1/solve -d '{"alpha":0.9,"algorithm":"auto"}'
+//
+// Endpoints: POST /v1/solve, GET /healthz, GET /readyz, GET /v1/stats.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"time"
+
+	"lcrb/internal/resilience"
+)
+
+func main() {
+	interrupt := resilience.Interrupt{
+		Signals: []os.Signal{os.Interrupt, syscall.SIGTERM},
+		OnFirst: func() {
+			fmt.Fprintln(os.Stderr, "lcrbd: interrupt received, draining — press again to force quit")
+		},
+	}
+	ctx, stop := interrupt.Notify()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lcrbd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the daemon: it serves until ctx is canceled
+// (first interrupt) and then drains. A clean drain — every in-flight solve
+// answered within -drain — returns nil.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lcrbd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		scale       = fs.Float64("scale", 0.05, "default network scale for requests that set none")
+		seed        = fs.Uint64("seed", 1, "default seed for requests that set none")
+		commSize    = fs.Int("community-size", 80, "default target rumor community size")
+		workers     = fs.Int("workers", 0, "σ̂ evaluation goroutines per solve (0/1 = serial, -1 = all cores)")
+		deadline    = fs.Duration("deadline", 10*time.Second, "default per-request solve deadline")
+		margin      = fs.Duration("deadline-margin", 200*time.Millisecond, "headroom greedy reserves before the deadline for fallbacks")
+		hedgeDelay  = fs.Duration("hedge-delay", 2*time.Second, "how long auto lets greedy run before hedging with SCBG")
+		maxInflight = fs.Int64("max-inflight", 4, "concurrent solves admitted")
+		maxWaiting  = fs.Int("max-waiting", 8, "solves queued behind the in-flight ones before shedding")
+		drain       = fs.Duration("drain", 15*time.Second, "drain window for in-flight solves on shutdown")
+		ckptDir     = fs.String("checkpoint-dir", "", "directory for drain-time checkpoints of interrupted solves")
+		chaosSpec   = fs.String("chaos", "", "fault injection: stage:failon[/every][:panic],... (stages: load, sigma, checkpoint)")
+		portFile    = fs.String("port-file", "", "write the bound port here once listening (for scripts)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxInflight < 1 {
+		return fmt.Errorf("-max-inflight %d must be positive", *maxInflight)
+	}
+	chaos, err := parseChaos(*chaosSpec)
+	if err != nil {
+		return err
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	s := newServer(serverConfig{
+		scale:          *scale,
+		seed:           *seed,
+		communitySize:  *commSize,
+		workers:        *workers,
+		defaultTimeout: *deadline,
+		deadlineMargin: *margin,
+		hedgeDelay:     *hedgeDelay,
+		maxInflight:    *maxInflight,
+		maxWaiting:     *maxWaiting,
+		checkpointDir:  *ckptDir,
+	}, chaos, logf)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	if *portFile != "" {
+		port := ln.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(*portFile, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write port file: %w", err)
+		}
+	}
+	fmt.Fprintf(stdout, "lcrbd: serving on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop admitting (readyz flips, new solves answer a typed
+	// 503), give in-flight solves the drain window, and before the window
+	// closes cancel them (hardStop) so they degrade or checkpoint and
+	// still write a response instead of holding Shutdown open.
+	s.draining.Store(true)
+	logf("lcrbd: draining for up to %v", *drain)
+	soft := *drain - *drain/4
+	timer := time.AfterFunc(soft, s.hardStop)
+	defer timer.Stop()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	logf("lcrbd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,466 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcrb/internal/core"
+	"lcrb/internal/experiment"
+	"lcrb/internal/resilience"
+)
+
+// serverConfig collects the flag-settable knobs of the daemon.
+type serverConfig struct {
+	// scale, seed and communitySize are the per-request defaults for the
+	// matching solveRequest fields.
+	scale         float64
+	seed          uint64
+	communitySize int
+	// workers parallelizes σ̂ evaluation inside greedy solves.
+	workers int
+	// defaultTimeout bounds a request that sets no timeoutMillis.
+	defaultTimeout time.Duration
+	// deadlineMargin is the headroom greedy reserves before the request
+	// deadline so the fallback ladder still has time to answer.
+	deadlineMargin time.Duration
+	// hedgeDelay is how long the auto ladder lets greedy run before
+	// hedging with SCBG.
+	hedgeDelay time.Duration
+	// maxInflight and maxWaiting bound admission: maxInflight solves run,
+	// maxWaiting queue, the rest shed with a typed 429.
+	maxInflight int64
+	maxWaiting  int
+	// checkpointDir, when set, receives checkpoints of solves interrupted
+	// by a drain.
+	checkpointDir string
+}
+
+// solveRequest is the body of POST /v1/solve. Zero fields inherit server
+// defaults.
+type solveRequest struct {
+	// Dataset is the calibrated network profile: hep (default) or enron.
+	Dataset string `json:"dataset"`
+	// Scale shrinks the profile (0 = server default).
+	Scale float64 `json:"scale"`
+	// Seed drives every random draw; equal requests return equal answers.
+	Seed uint64 `json:"seed"`
+	// CommunitySize is the target rumor community size.
+	CommunitySize int `json:"communitySize"`
+	// RumorFraction draws |R| as a fraction of the community (default 0.05).
+	RumorFraction float64 `json:"rumorFraction"`
+	// Alpha is the protection level for greedy (default 0.9).
+	Alpha float64 `json:"alpha"`
+	// Algorithm is auto (default), greedy, scbg, proximity or maxdegree.
+	// auto races greedy against SCBG under the deadline and degrades to a
+	// heuristic rather than failing.
+	Algorithm string `json:"algorithm"`
+	// Samples is the σ̂ Monte-Carlo sample count (default 10).
+	Samples int `json:"samples"`
+	// MaxHops is the simulation horizon (default 31).
+	MaxHops int `json:"maxHops"`
+	// TimeoutMillis bounds the solve (0 = server default deadline).
+	TimeoutMillis int64 `json:"timeoutMillis"`
+}
+
+// solveResponse is the body of a successful solve. Degraded answers are
+// still 200s: the protector set is valid, just not the one the full-budget
+// solver would have produced, and DegradedReason says why.
+type solveResponse struct {
+	// Algorithm names the solver that actually produced the answer.
+	Algorithm string `json:"algorithm"`
+	// Protectors is the selected protector seed set.
+	Protectors []int32 `json:"protectors"`
+	// NumRumors and NumEnds describe the instance.
+	NumRumors int `json:"numRumors"`
+	NumEnds   int `json:"numEnds"`
+	// ProtectedEnds is σ̂(S_P) when the producing solver estimates it.
+	ProtectedEnds float64 `json:"protectedEnds,omitempty"`
+	// Achieved reports whether the α·|B| target was met exactly.
+	Achieved bool `json:"achieved"`
+	// Degraded marks a fallback answer; DegradedReason explains the path.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degradedReason,omitempty"`
+	// ElapsedMillis is the serving time.
+	ElapsedMillis int64 `json:"elapsedMillis"`
+}
+
+// errorResponse is the JSON error envelope. Every non-200 the daemon
+// produces carries one — clients never see a bare status line.
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+// errorBody is the envelope payload: a stable machine-readable code plus a
+// human-readable message.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes in the envelope.
+const (
+	codeBadRequest  = "bad_request"
+	codeShed        = "shed"
+	codeDraining    = "draining"
+	codeCircuitOpen = "circuit_open"
+	codeDeadline    = "deadline"
+	codeInternal    = "internal"
+)
+
+// instanceKey identifies a cached experiment instance.
+type instanceKey struct {
+	dataset       string
+	scale         float64
+	seed          uint64
+	communitySize int
+}
+
+// instanceEntry caches one build (or its failure) behind a sync.Once so
+// concurrent requests for the same instance build it exactly once.
+type instanceEntry struct {
+	once sync.Once
+	inst *experiment.Instance
+	err  error
+}
+
+// server is the lcrbd serving state.
+type server struct {
+	cfg     serverConfig
+	chaos   *chaosFaults
+	gate    *resilience.Gate
+	breaker *resilience.Breaker
+	logf    func(format string, args ...any)
+
+	mu        sync.Mutex
+	instances map[instanceKey]*instanceEntry
+
+	draining atomic.Bool
+	requests atomic.Int64
+	degraded atomic.Int64
+
+	// hardDrain is canceled when the drain window is nearly exhausted;
+	// in-flight solves observe it and degrade or checkpoint instead of
+	// holding the shutdown open.
+	hardDrain context.Context
+	hardStop  context.CancelFunc
+}
+
+// newServer wires the serving state. logf receives operational log lines.
+func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, args ...any)) *server {
+	if chaos == nil {
+		chaos = &chaosFaults{}
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	hardDrain, hardStop := context.WithCancel(context.Background())
+	return &server{
+		cfg:   cfg,
+		chaos: chaos,
+		gate:  resilience.NewGate(cfg.maxInflight, cfg.maxWaiting),
+		breaker: resilience.NewBreaker(resilience.BreakerOptions{
+			FailureThreshold: 3,
+			Cooldown:         2 * time.Second,
+		}),
+		logf:      logf,
+		instances: make(map[instanceKey]*instanceEntry),
+		hardDrain: hardDrain,
+		hardStop:  hardStop,
+	}
+}
+
+// handler builds the daemon's route table. Every route runs inside the
+// panic-containment middleware: a panicking request answers a typed 500
+// and the process keeps serving.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s.contain(mux)
+}
+
+// contain is the outermost middleware: it converts a request-goroutine
+// panic into a JSON 500 so one poisoned solve cannot crash the daemon.
+func (s *server) contain(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logf("lcrbd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeError(w, http.StatusInternalServerError, codeInternal,
+					fmt.Sprintf("request panicked: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz reports liveness: the process is up and serving HTTP.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleReadyz reports readiness: 200 while accepting solves, a typed 503
+// once draining so load balancers stop routing here.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "draining: not accepting new solves")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ready"}`)
+}
+
+// handleStats reports admission and breaker counters.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"inFlight": s.gate.InFlight(),
+		"waiting":  s.gate.Waiting(),
+		"shed":     s.gate.Shed(),
+		"breaker":  s.breaker.State().String(),
+		"draining": s.draining.Load(),
+		"requests": s.requests.Load(),
+		"degraded": s.degraded.Load(),
+	})
+}
+
+// handleSolve admits, bounds and dispatches one solve.
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "draining: not accepting new solves")
+		return
+	}
+	req, err := decodeSolveRequest(r.Body, s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+
+	// Admission: at most maxInflight solves run, maxWaiting queue behind
+	// them, and everything else sheds immediately — an overloaded daemon
+	// answers cheap typed 429s instead of queueing unboundedly.
+	if err := s.gate.AcquireContext(r.Context(), 1); err != nil {
+		if errors.Is(err, resilience.ErrShed) {
+			writeError(w, http.StatusTooManyRequests, codeShed,
+				"overloaded: in-flight and waiting slots are full, retry later")
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, codeInternal, err.Error())
+		return
+	}
+	defer s.gate.Release(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
+	defer cancel()
+	// A drain past its soft deadline cancels in-flight solves so they
+	// degrade (and checkpoint) instead of holding the shutdown open.
+	stopAfter := context.AfterFunc(s.hardDrain, cancel)
+	defer stopAfter()
+
+	start := time.Now()
+	resp, err := s.solve(ctx, req)
+	if err != nil {
+		status, code := classifyError(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	resp.ElapsedMillis = time.Since(start).Milliseconds()
+	if resp.Degraded {
+		s.degraded.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// classifyError maps a solve error to an HTTP status and envelope code.
+func classifyError(err error) (int, string) {
+	switch {
+	case errors.Is(err, resilience.ErrOpen):
+		return http.StatusServiceUnavailable, codeCircuitOpen
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, codeDeadline
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest, codeBadRequest
+	default:
+		return http.StatusInternalServerError, codeInternal
+	}
+}
+
+// errBadRequest marks solve errors caused by the request, not the server.
+var errBadRequest = errors.New("bad request")
+
+// decodeSolveRequest parses and validates the request body, folding in the
+// server defaults. The returned request has a resolved timeout.
+func decodeSolveRequest(body io.Reader, cfg serverConfig) (*resolvedRequest, error) {
+	var req solveRequest
+	dec := json.NewDecoder(io.LimitReader(body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	if req.Dataset == "" {
+		req.Dataset = "hep"
+	}
+	if req.Dataset != "hep" && req.Dataset != "enron" {
+		return nil, fmt.Errorf("unknown dataset %q (want hep or enron)", req.Dataset)
+	}
+	if req.Scale == 0 {
+		req.Scale = cfg.scale
+	}
+	if req.Scale <= 0 || req.Scale > 1 {
+		return nil, fmt.Errorf("scale %v out of (0,1]", req.Scale)
+	}
+	if req.Seed == 0 {
+		req.Seed = cfg.seed
+	}
+	if req.CommunitySize == 0 {
+		req.CommunitySize = cfg.communitySize
+	}
+	if req.CommunitySize < 0 {
+		return nil, fmt.Errorf("communitySize %d must be positive", req.CommunitySize)
+	}
+	if req.RumorFraction == 0 {
+		req.RumorFraction = 0.05
+	}
+	if req.RumorFraction < 0 || req.RumorFraction > 1 {
+		return nil, fmt.Errorf("rumorFraction %v out of (0,1]", req.RumorFraction)
+	}
+	if req.Alpha == 0 {
+		req.Alpha = 0.9
+	}
+	if req.Alpha < 0 || req.Alpha > 1 {
+		return nil, fmt.Errorf("alpha %v out of (0,1]", req.Alpha)
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "auto"
+	}
+	switch req.Algorithm {
+	case "auto", "greedy", "scbg", "proximity", "maxdegree":
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want auto, greedy, scbg, proximity or maxdegree)", req.Algorithm)
+	}
+	if req.Samples == 0 {
+		req.Samples = 10
+	}
+	if req.Samples < 0 {
+		return nil, fmt.Errorf("samples %d must be positive", req.Samples)
+	}
+	if req.MaxHops == 0 {
+		req.MaxHops = 31
+	}
+	if req.TimeoutMillis < 0 {
+		return nil, fmt.Errorf("timeoutMillis %d must not be negative", req.TimeoutMillis)
+	}
+	timeout := cfg.defaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	return &resolvedRequest{solveRequest: req, timeout: timeout}, nil
+}
+
+// resolvedRequest is a validated solveRequest plus its effective deadline.
+type resolvedRequest struct {
+	solveRequest
+	timeout time.Duration
+}
+
+// instance returns the cached experiment instance for the request,
+// building it on first use behind the circuit breaker with a jittered
+// retry. The build deliberately ignores the request context: it is
+// bounded work whose result every later request with the same key reuses,
+// so one impatient client should not poison the cache.
+func (s *server) instance(req *resolvedRequest) (*experiment.Instance, error) {
+	key := instanceKey{
+		dataset:       req.Dataset,
+		scale:         req.Scale,
+		seed:          req.Seed,
+		communitySize: req.CommunitySize,
+	}
+	s.mu.Lock()
+	entry, ok := s.instances[key]
+	if !ok {
+		entry = &instanceEntry{}
+		s.instances[key] = entry
+	}
+	s.mu.Unlock()
+
+	entry.once.Do(func() {
+		retry := resilience.Retry{
+			Attempts:  3,
+			BaseDelay: 5 * time.Millisecond,
+			MaxDelay:  50 * time.Millisecond,
+			Seed:      req.Seed + 7,
+		}
+		entry.err = retry.Do(func(context.Context) error {
+			if err := s.chaos.load.Check(); err != nil {
+				return err
+			}
+			inst, err := experiment.Setup(experiment.Config{
+				Name:            "lcrbd",
+				Dataset:         experiment.Dataset(req.Dataset),
+				Scale:           req.Scale,
+				Seed:            req.Seed,
+				CommunityTarget: int32(req.CommunitySize),
+				Workers:         s.cfg.workers,
+			})
+			if err != nil {
+				return err
+			}
+			entry.inst = inst
+			return nil
+		})
+	})
+	if entry.err != nil {
+		// A failed build is not cached forever: evict so a later request
+		// can retry once the (possibly transient) cause clears. The
+		// breaker above this call keeps a persistent failure from turning
+		// into a rebuild storm.
+		s.mu.Lock()
+		if s.instances[key] == entry {
+			delete(s.instances, key)
+		}
+		s.mu.Unlock()
+		return nil, entry.err
+	}
+	return entry.inst, nil
+}
+
+// problem builds the per-request problem instance. The breaker guards the
+// expensive instance build: repeated build failures open the circuit and
+// later requests fail fast with a typed 503 instead of piling onto a
+// broken generator.
+func (s *server) problem(req *resolvedRequest) (*core.Problem, *experiment.Instance, error) {
+	var inst *experiment.Instance
+	err := s.breaker.Do(func(context.Context) error {
+		var err error
+		inst, err = s.instance(req)
+		return err
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("build instance: %w", err)
+	}
+	prob, err := inst.NewProblem(req.RumorFraction, s.requestRNG(req))
+	if err != nil {
+		return nil, nil, fmt.Errorf("build problem: %w", err)
+	}
+	return prob, inst, nil
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: errorBody{Code: code, Message: message}})
+}

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 
@@ -27,11 +26,17 @@ import (
 	"lcrb/internal/gen"
 	"lcrb/internal/graph"
 	"lcrb/internal/heuristic"
+	"lcrb/internal/resilience"
 	"lcrb/internal/rng"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	interrupt := resilience.Interrupt{
+		OnFirst: func() {
+			fmt.Fprintln(os.Stderr, "lcrbrun: interrupt received, draining — press again to force quit")
+		},
+	}
+	ctx, stop := interrupt.Notify()
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "lcrbrun:", err)

@@ -76,10 +76,19 @@ func (s *Sweep) Mark(u Unit) {
 	s.Done = append(s.Done, u)
 }
 
-// Save writes the sweep atomically to path: the JSON is written to a
-// temporary file in the same directory and renamed into place, so readers
-// never observe a partial checkpoint. Parent directories are created as
-// needed.
+// Save writes the sweep atomically and durably to path: the JSON is
+// written to a temporary file in the same directory, fsynced, renamed into
+// place, and then the directory itself is fsynced. Parent directories are
+// created as needed.
+//
+// The exact guarantee: after Save returns nil, a reader at path observes
+// either the previous checkpoint or the new one in full, never a torn
+// write (the rename is atomic within one filesystem), and the new
+// checkpoint survives a power loss or kernel crash (the file fsync makes
+// the contents durable; the directory fsync makes the rename — the
+// directory entry pointing at the new inode — durable). Without the
+// directory fsync, a crash shortly after Save could legally roll the
+// rename back and resurface the previous checkpoint.
 func Save(path string, s *Sweep) error {
 	if path == "" {
 		return fmt.Errorf("checkpoint: save: empty path")
@@ -121,6 +130,22 @@ func Save(path string, s *Sweep) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: save: rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a preceding rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync dir %s: %w", dir, err)
 	}
 	return nil
 }

@@ -68,6 +68,14 @@ type GreedyOptions struct {
 	// has one; MaxDuration exists for budgeting a single solve inside a
 	// longer-lived context.
 	MaxDuration time.Duration
+	// DeadlineMargin reserves headroom before a context deadline: when
+	// positive and ctx carries a deadline, σ̂ evaluation stops
+	// DeadlineMargin before it under the partial-result contract (an error
+	// wrapping ErrBudgetExhausted), so the caller still has time to act on
+	// the partial answer — fall back to a cheaper solver, write a
+	// checkpoint — before the deadline kills the request. 0 disables the
+	// reservation; negative is an error.
+	DeadlineMargin time.Duration
 	// Workers parallelizes σ̂ evaluation on up to this many goroutines: the
 	// candidate batches of every plain round and of the CELF
 	// initialization round run concurrently across seed sets, and single
@@ -201,8 +209,20 @@ func GreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*Greedy
 		maxEvals:  opts.MaxEvaluations,
 		cache:     make(map[string]float64),
 	}
+	if opts.DeadlineMargin < 0 {
+		return nil, fmt.Errorf("core: greedy: deadline margin = %v must not be negative", opts.DeadlineMargin)
+	}
 	if opts.MaxDuration > 0 {
 		ev.deadline = time.Now().Add(opts.MaxDuration)
+	}
+	if d, ok := ctx.Deadline(); ok && opts.DeadlineMargin > 0 {
+		// Fold the context deadline, minus the reserved margin, into the
+		// wall-clock budget: expiry then surfaces as ErrBudgetExhausted
+		// with the best-so-far seed set while the context is still alive.
+		d = d.Add(-opts.DeadlineMargin)
+		if ev.deadline.IsZero() || d.Before(ev.deadline) {
+			ev.deadline = d
+		}
 	}
 
 	res := &GreedyResult{}
@@ -247,14 +267,20 @@ func GreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*Greedy
 	return res, nil
 }
 
-// isInterruption reports whether err is an expected interruption —
-// cancellation, deadline, or budget expiry — rather than a configuration
-// or evaluation failure.
-func isInterruption(err error) bool {
+// IsInterruption reports whether err is an expected interruption —
+// context cancellation, deadline expiry, or an exhausted evaluation
+// budget — rather than a configuration or evaluation failure. Serving
+// layers use it to decide between degrading to a cheaper solver (the
+// interruption cases, where a partial result is still honest) and failing
+// the request outright.
+func IsInterruption(err error) bool {
 	return errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded) ||
 		errors.Is(err, ErrBudgetExhausted)
 }
+
+// isInterruption is the internal alias of IsInterruption.
+func isInterruption(err error) bool { return IsInterruption(err) }
 
 // greedyCandidates resolves the candidate pool.
 func greedyCandidates(p *Problem, opts GreedyOptions) ([]int32, error) {

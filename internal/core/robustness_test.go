@@ -179,3 +179,45 @@ func TestEvaluateContextMatchesEvaluate(t *testing.T) {
 		t.Fatalf("Evaluate and EvaluateContext diverged: %+v vs %+v", plain, withCtx)
 	}
 }
+
+// TestGreedyDeadlineMargin reserves headroom before a context deadline:
+// with a margin at least as large as the remaining time, σ̂ evaluation
+// stops immediately under the partial-result contract — while the context
+// itself is still alive, so the caller can act on the partial answer.
+func TestGreedyDeadlineMargin(t *testing.T) {
+	p := fixtureProblem(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	res, err := GreedyContext(ctx, p, GreedyOptions{
+		Alpha: 0.9, Samples: 5, Seed: 1, DeadlineMargin: 2 * time.Hour,
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("res = %+v, want non-nil partial result", res)
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("context already dead: %v", ctx.Err())
+	}
+	if !IsInterruption(err) {
+		t.Fatalf("IsInterruption(%v) = false, want true", err)
+	}
+
+	// Without a context deadline the margin is inert.
+	if _, err := Greedy(p, GreedyOptions{
+		Alpha: 0.9, Samples: 5, Seed: 1, DeadlineMargin: 2 * time.Hour,
+	}); err != nil {
+		t.Fatalf("margin without deadline: %v", err)
+	}
+}
+
+// TestGreedyNegativeDeadlineMargin rejects a negative margin.
+func TestGreedyNegativeDeadlineMargin(t *testing.T) {
+	p := fixtureProblem(t)
+	if _, err := Greedy(p, GreedyOptions{
+		Alpha: 0.9, Samples: 5, Seed: 1, DeadlineMargin: -time.Second,
+	}); err == nil {
+		t.Fatal("negative DeadlineMargin accepted")
+	}
+}

@@ -25,11 +25,19 @@ var ErrInjected = errors.New("diffusion: injected fault")
 // the greedy's CELF and plain loops, and partial-result reporting in the
 // experiment runners. The zero value never fires (FailOn 0 disables it).
 type Fault struct {
-	// FailOn is the 1-based invocation index that fails. 0 disables the
-	// fault entirely.
+	// FailOn is the 1-based invocation index that fails. 0 (or negative)
+	// disables the fault entirely — including any Every schedule, so a
+	// Fault with Every set but FailOn 0 never fires.
 	FailOn int64
 	// Every repeats the fault: when set, every Every-th invocation at or
 	// after FailOn fails too. 0 means the fault fires exactly once.
+	//
+	// Boundary values worth spelling out:
+	//   - FailOn=1, Every=1 fails every invocation: the first because
+	//     n == FailOn, and each later n because (n-FailOn)%1 == 0.
+	//   - FailOn=k, Every=0 fails exactly invocation k and no other.
+	//   - FailOn=0 with any Every stays disabled; Every alone is not a
+	//     schedule.
 	Every int64
 	// Panic makes the injected failure a panic instead of an error return,
 	// for testing recover paths.
@@ -45,6 +53,20 @@ func (f *Fault) Calls() int64 { return f.calls.Load() }
 
 // Reset rewinds the invocation counter so the same fault schedule replays.
 func (f *Fault) Reset() { f.calls.Store(0) }
+
+// Check counts one invocation against the fault's schedule and either
+// panics or returns the injected error when that invocation is scheduled
+// to fail. It is the exported entry point for wiring fault injection into
+// call sites outside this package (graph loading, checkpoint writes, a
+// serving layer's σ̂ evaluation) that have no Model or Realization to
+// wrap. A nil receiver never fires, so callers can thread an optional
+// *Fault without guarding.
+func (f *Fault) Check() error {
+	if f == nil {
+		return nil
+	}
+	return f.fire()
+}
 
 // fire reports whether this invocation is scheduled to fail, and either
 // panics or returns the injected error.

@@ -1,0 +1,91 @@
+package diffusion
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultEveryOneFromFirst regression-tests the FailOn=1, Every=1
+// boundary: every single invocation fails — the first because n == FailOn,
+// and each later n because (n-FailOn)%1 == 0.
+func TestFaultEveryOneFromFirst(t *testing.T) {
+	f := &Fault{FailOn: 1, Every: 1}
+	for i := 1; i <= 20; i++ {
+		if err := f.Check(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("invocation %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if got := f.Calls(); got != 20 {
+		t.Fatalf("Calls = %d, want 20", got)
+	}
+}
+
+// TestFaultEveryWithoutFailOnDisabled regression-tests the FailOn=0
+// boundary: Every alone is not a schedule, the fault stays disabled.
+func TestFaultEveryWithoutFailOnDisabled(t *testing.T) {
+	f := &Fault{Every: 1}
+	for i := 1; i <= 20; i++ {
+		if err := f.Check(); err != nil {
+			t.Fatalf("invocation %d: err = %v, want nil for FailOn=0", i, err)
+		}
+	}
+	neg := &Fault{FailOn: -3, Every: 2}
+	for i := 1; i <= 20; i++ {
+		if err := neg.Check(); err != nil {
+			t.Fatalf("invocation %d: err = %v, want nil for negative FailOn", i, err)
+		}
+	}
+}
+
+// TestFaultOnceOnly fires exactly on invocation FailOn when Every is 0.
+func TestFaultOnceOnly(t *testing.T) {
+	f := &Fault{FailOn: 3}
+	for i := 1; i <= 10; i++ {
+		err := f.Check()
+		if i == 3 && !errors.Is(err, ErrInjected) {
+			t.Fatalf("invocation 3: err = %v, want ErrInjected", err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("invocation %d: err = %v, want nil", i, err)
+		}
+	}
+}
+
+// TestFaultEverySchedule fires on FailOn and every Every-th call after.
+func TestFaultEverySchedule(t *testing.T) {
+	f := &Fault{FailOn: 2, Every: 3}
+	var failed []int
+	for i := 1; i <= 12; i++ {
+		if err := f.Check(); err != nil {
+			failed = append(failed, i)
+		}
+	}
+	want := []int{2, 5, 8, 11}
+	if len(failed) != len(want) {
+		t.Fatalf("failed invocations = %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("failed invocations = %v, want %v", failed, want)
+		}
+	}
+}
+
+// TestFaultNilCheck keeps Check nil-safe so optional faults need no guard.
+func TestFaultNilCheck(t *testing.T) {
+	var f *Fault
+	for i := 0; i < 3; i++ {
+		if err := f.Check(); err != nil {
+			t.Fatalf("nil fault Check = %v, want nil", err)
+		}
+	}
+}
+
+// TestFaultCheckCustomErr injects the configured error, wrapped.
+func TestFaultCheckCustomErr(t *testing.T) {
+	boom := errors.New("boom")
+	f := &Fault{FailOn: 1, Err: boom}
+	if err := f.Check(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrap of custom error", err)
+	}
+}

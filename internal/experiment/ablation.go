@@ -52,11 +52,11 @@ func RunAlphaSweep(inst *Instance, alphas []float64) (*AlphaSweep, error) {
 func RunAlphaSweepContext(ctx context.Context, inst *Instance, alphas []float64) (*AlphaSweep, error) {
 	cfg := inst.Config
 	src := rng.New(cfg.Seed + 9)
-	rumors := inst.drawRumors(cfg.RumorFractions[0], src)
-	prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+	prob, err := inst.NewProblem(cfg.RumorFractions[0], src)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: alpha sweep: %w", err)
 	}
+	rumors := prob.Rumors
 	out := &AlphaSweep{Config: cfg, NumEnds: prob.NumEnds(), NumRumor: len(rumors)}
 	if prob.NumEnds() == 0 {
 		return nil, fmt.Errorf("experiment: alpha sweep: no bridge ends")
@@ -170,8 +170,7 @@ func RunDetectorAblationContext(ctx context.Context, cfg Config) (*DetectorAblat
 			name = "labelprop"
 		}
 		src := rng.New(cfg.Seed + 12)
-		rumors := inst.drawRumors(cfg.RumorFractions[0], src)
-		prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+		prob, err := inst.NewProblem(cfg.RumorFractions[0], src)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: detector ablation (%s): %w", name, err)
 		}

@@ -47,11 +47,11 @@ func RunExtendedComparison(inst *Instance) (*ExtendedComparison, error) {
 func RunExtendedComparisonContext(ctx context.Context, inst *Instance) (*ExtendedComparison, error) {
 	cfg := inst.Config
 	src := rng.New(cfg.Seed + 16)
-	rumors := inst.drawRumors(cfg.RumorFractions[0], src)
-	prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+	prob, err := inst.NewProblem(cfg.RumorFractions[0], src)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: extended: %w", err)
 	}
+	rumors := prob.Rumors
 	if prob.NumEnds() == 0 {
 		return nil, fmt.Errorf("experiment: extended: no bridge ends")
 	}

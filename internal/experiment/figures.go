@@ -64,11 +64,11 @@ func RunFigureOPOAOContext(ctx context.Context, inst *Instance) (*FigureResult, 
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
 		}
-		rumors := inst.drawRumors(frac, src)
-		prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+		prob, err := inst.NewProblem(frac, src)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
 		}
+		rumors := prob.Rumors
 		budget := len(rumors)
 
 		panel := Panel{
@@ -155,11 +155,11 @@ func RunFigureDOAMContext(ctx context.Context, inst *Instance) (*FigureResult, e
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
 		}
-		rumors := inst.drawRumors(frac, src)
-		prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+		prob, err := inst.NewProblem(frac, src)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
 		}
+		rumors := prob.Rumors
 		panel := Panel{
 			RumorFraction: frac,
 			NumRumors:     len(rumors),

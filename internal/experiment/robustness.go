@@ -51,12 +51,11 @@ func RunNoiseAblation(inst *Instance, noiseLevels []float64) (*NoiseAblation, er
 func RunNoiseAblationContext(ctx context.Context, inst *Instance, noiseLevels []float64) (*NoiseAblation, error) {
 	cfg := inst.Config
 	src := rng.New(cfg.Seed + 13)
-	rumors := inst.drawRumors(cfg.RumorFractions[0], src)
-
-	trueProb, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+	trueProb, err := inst.NewProblem(cfg.RumorFractions[0], src)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: noise ablation: %w", err)
 	}
+	rumors := trueProb.Rumors
 	if trueProb.NumEnds() == 0 {
 		return nil, fmt.Errorf("experiment: noise ablation: no bridge ends")
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lcrb/internal/community"
+	"lcrb/internal/core"
 	"lcrb/internal/gen"
 	"lcrb/internal/rng"
 )
@@ -56,6 +57,16 @@ func Setup(cfg Config) (*Instance, error) {
 		return nil, fmt.Errorf("experiment: selected community %d is empty", comm)
 	}
 	return inst, nil
+}
+
+// NewProblem draws max(1, fraction*|C|) rumor seeds from the selected
+// community and assembles the LCRB problem instance around them. It is the
+// one place rumor sampling and problem construction meet, so every
+// consumer — figures, tables, ablations, the serving daemon — builds
+// problems the same way and stays bit-identical for a given src state.
+func (inst *Instance) NewProblem(fraction float64, src *rng.Source) (*core.Problem, error) {
+	rumors := inst.drawRumors(fraction, src)
+	return core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
 }
 
 // drawRumors samples max(1, fraction*|C|) distinct rumor seeds from the

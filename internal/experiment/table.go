@@ -63,12 +63,12 @@ func RunTableContext(ctx context.Context, inst *Instance) (*TableResult, error) 
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
 			}
-			rumors := inst.drawRumors(frac, src)
-			row.NumRumors = len(rumors)
-			prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+			prob, err := inst.NewProblem(frac, src)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s: %w", cfg.Name, err)
 			}
+			rumors := prob.Rumors
+			row.NumRumors = len(rumors)
 			row.MeanEnds += float64(prob.NumEnds())
 			if prob.NumEnds() == 0 {
 				continue // nothing to protect: all costs are zero

@@ -49,8 +49,7 @@ func RunModelTransfer(inst *Instance) (*ModelTransfer, error) {
 func RunModelTransferContext(ctx context.Context, inst *Instance) (*ModelTransfer, error) {
 	cfg := inst.Config
 	src := rng.New(cfg.Seed + 18)
-	rumors := inst.drawRumors(cfg.RumorFractions[0], src)
-	prob, err := core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+	prob, err := inst.NewProblem(cfg.RumorFractions[0], src)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: transfer: %w", err)
 	}

@@ -1,0 +1,181 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Gate is a weighted-semaphore admission controller with load shedding: at
+// most Capacity units of work are in flight, at most MaxWaiting acquirers
+// queue behind them (FIFO), and everything beyond that is shed immediately
+// with ErrShed rather than queued into a latency cliff. Safe for
+// concurrent use.
+//
+// Shedding at admission is the serving layer's first line of defense:
+// a request that cannot start before its deadline is cheaper to refuse in
+// microseconds than to time out after consuming a worker.
+type Gate struct {
+	mu         sync.Mutex
+	capacity   int64
+	inFlight   int64
+	maxWaiting int
+	waiters    []*gateWaiter // FIFO; nil entries are canceled waiters
+	shed       int64
+}
+
+// gateWaiter is one queued acquisition; ready is closed when granted.
+type gateWaiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+// NewGate returns a Gate admitting capacity units of concurrent work with
+// a queue of at most maxWaiting blocked acquirers: 0 sheds the moment the
+// gate is full, negative queues without bound. It panics if capacity is
+// not positive.
+func NewGate(capacity int64, maxWaiting int) *Gate {
+	if capacity <= 0 {
+		panic("resilience: gate capacity must be positive")
+	}
+	return &Gate{capacity: capacity, maxWaiting: maxWaiting}
+}
+
+// Acquire is AcquireContext with a background context.
+func (g *Gate) Acquire(n int64) error {
+	return g.AcquireContext(context.Background(), n)
+}
+
+// AcquireContext blocks until n units are admitted, the queue position is
+// shed (ErrShed, wrapped), or ctx ends. Admission is FIFO: a heavy waiter
+// at the head is not overtaken by lighter ones behind it, so no acquirer
+// starves.
+func (g *Gate) AcquireContext(ctx context.Context, n int64) error {
+	if n <= 0 || n > g.capacity {
+		return fmt.Errorf("resilience: gate: weight %d out of (0, %d]", n, g.capacity)
+	}
+	g.mu.Lock()
+	if g.inFlight+n <= g.capacity && g.waitingLocked() == 0 {
+		g.inFlight += n
+		g.mu.Unlock()
+		return nil
+	}
+	if g.maxWaiting >= 0 && g.waitingLocked() >= g.maxWaiting {
+		g.shed++
+		inFlight, waiting := g.inFlight, g.waitingLocked()
+		g.mu.Unlock()
+		return fmt.Errorf("resilience: gate: %d in flight, %d waiting: %w", inFlight, waiting, ErrShed)
+	}
+	w := &gateWaiter{n: n, ready: make(chan struct{})}
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation: the units are already
+			// charged to this waiter, so give them back before reporting
+			// the cancellation.
+			g.releaseLocked(w.n)
+		default:
+			g.removeLocked(w)
+		}
+		g.mu.Unlock()
+		return fmt.Errorf("resilience: gate: %w", ctx.Err())
+	}
+}
+
+// TryAcquire admits n units without blocking, reporting whether it
+// succeeded. Queued waiters keep FIFO priority: TryAcquire never jumps the
+// queue.
+func (g *Gate) TryAcquire(n int64) bool {
+	if n <= 0 || n > g.capacity {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inFlight+n <= g.capacity && g.waitingLocked() == 0 {
+		g.inFlight += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units to the gate and wakes queued waiters that now
+// fit. It panics on a release that exceeds the acquired total.
+func (g *Gate) Release(n int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.releaseLocked(n)
+}
+
+// releaseLocked is Release with g.mu held.
+func (g *Gate) releaseLocked(n int64) {
+	g.inFlight -= n
+	if g.inFlight < 0 {
+		panic("resilience: gate released more than acquired")
+	}
+	for len(g.waiters) > 0 {
+		w := g.waiters[0]
+		if w == nil {
+			g.waiters = g.waiters[1:]
+			continue
+		}
+		if g.inFlight+w.n > g.capacity {
+			break
+		}
+		g.inFlight += w.n
+		close(w.ready)
+		g.waiters = g.waiters[1:]
+	}
+	if len(g.waiters) == 0 {
+		g.waiters = nil
+	}
+}
+
+// removeLocked drops a canceled waiter from the queue without disturbing
+// the positions of the others.
+func (g *Gate) removeLocked(target *gateWaiter) {
+	for i, w := range g.waiters {
+		if w == target {
+			g.waiters[i] = nil
+			return
+		}
+	}
+}
+
+// waitingLocked counts live queued waiters. Callers hold g.mu.
+func (g *Gate) waitingLocked() int {
+	n := 0
+	for _, w := range g.waiters {
+		if w != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// InFlight reports the units currently admitted.
+func (g *Gate) InFlight() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inFlight
+}
+
+// Waiting reports the acquirers currently queued.
+func (g *Gate) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waitingLocked()
+}
+
+// Shed reports how many acquisitions have been shed since construction.
+func (g *Gate) Shed() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.shed
+}

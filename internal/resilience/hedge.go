@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Hedge races redundant attempts against a slow primary: attempt 0 starts
+// immediately, and each further attempt starts when the previous ones have
+// neither succeeded nor all failed within Delay — or immediately, when
+// every launched attempt has already failed. The first success wins; the
+// losers' contexts are canceled and DoContext waits for them to unwind
+// before returning, so an attempt never outlives the call that spawned it.
+//
+// The op receives the attempt index, so the attempts need not be
+// identical work: the serving layer's fallback ladder hedges an exact
+// solver (attempt 0) with a cheaper approximation (attempt 1) and takes
+// whichever beats the deadline.
+type Hedge struct {
+	// Delay is how long to wait before launching the next attempt while
+	// earlier ones are still running. <= 0 launches every attempt
+	// immediately (a plain race).
+	Delay time.Duration
+	// Attempts is the maximum number of attempts, the primary included.
+	// Values < 1 mean 2.
+	Attempts int
+}
+
+// hedgeResult is one attempt's outcome.
+type hedgeResult struct {
+	attempt int
+	v       any
+	err     error
+}
+
+// Do is DoContext with a background context.
+func (h Hedge) Do(op func(ctx context.Context, attempt int) (any, error)) (any, error) {
+	return h.DoContext(context.Background(), op)
+}
+
+// DoContext runs op under the hedging schedule and returns the first
+// successful attempt's value. When every attempt fails it returns an
+// error joining all attempt errors (test the causes with errors.Is). A
+// panicking attempt is recovered into an error wrapping ErrPanic: attempts
+// run on internal goroutines, where an uncaught panic would kill the
+// process rather than fail the call.
+func (h Hedge) DoContext(ctx context.Context, op func(ctx context.Context, attempt int) (any, error)) (any, error) {
+	attempts := h.Attempts
+	if attempts < 1 {
+		attempts = 2
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan hedgeResult, attempts)
+	launched := 0
+	launch := func() {
+		i := launched
+		launched++
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					results <- hedgeResult{attempt: i, err: fmt.Errorf("resilience: hedge attempt %d: %w: %v\n%s", i, ErrPanic, r, debug.Stack())}
+				}
+			}()
+			v, err := op(hctx, i)
+			results <- hedgeResult{attempt: i, v: v, err: err}
+		}()
+	}
+
+	launch()
+	if h.Delay <= 0 {
+		for launched < attempts {
+			launch()
+		}
+	}
+	var timerC <-chan time.Time
+	var timer *time.Timer
+	if h.Delay > 0 && launched < attempts {
+		timer = time.NewTimer(h.Delay)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+
+	done := ctx.Done()
+	finished := 0
+	var errs []error
+	for {
+		select {
+		case <-done:
+			// The caller's context ended: no further attempts, but wait for
+			// the launched ones to observe the cancellation and report.
+			attempts = launched
+			timerC = nil
+			done = nil
+		case <-timerC:
+			launch()
+			if launched < attempts {
+				timer.Reset(h.Delay)
+			} else {
+				timerC = nil
+			}
+		case r := <-results:
+			if r.err == nil {
+				cancel()
+				for finished < launched-1 {
+					<-results
+					finished++
+				}
+				return r.v, nil
+			}
+			finished++
+			errs = append(errs, fmt.Errorf("resilience: hedge attempt %d: %w", r.attempt, r.err))
+			if launched < attempts {
+				// A failure fast-forwards the schedule: there is no point
+				// waiting out the delay when the attempt it was shadowing is
+				// already dead.
+				launch()
+				if timer != nil {
+					if !timer.Stop() {
+						// Timer already fired; its channel receive above (or a
+						// drained value) is superseded by this launch.
+						select {
+						case <-timer.C:
+						default:
+						}
+					}
+					if launched < attempts {
+						timer.Reset(h.Delay)
+					} else {
+						timerC = nil
+					}
+				}
+			} else if finished == launched {
+				return nil, fmt.Errorf("resilience: hedge: all %d attempts failed: %w", launched, errors.Join(errs...))
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRetrySucceedsAfterFailures retries a flaky op to success without
+// surfacing the transient errors.
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	r := Retry{Attempts: 4, sleep: func(context.Context, time.Duration) error { return nil }}
+	err := r.Do(func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+// TestRetryExhaustsAttempts surfaces the last error wrapped after the
+// budget is spent.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	sentinel := errors.New("still broken")
+	calls := 0
+	r := Retry{Attempts: 3, sleep: func(context.Context, time.Duration) error { return nil }}
+	err := r.Do(func(context.Context) error { calls++; return sentinel })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrap of sentinel", err)
+	}
+}
+
+// TestRetryPermanentStopsImmediately honors the Retryable classifier.
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	permanent := errors.New("bad config")
+	calls := 0
+	r := Retry{
+		Attempts:  5,
+		Retryable: func(err error) bool { return !errors.Is(err, permanent) },
+		sleep:     func(context.Context, time.Duration) error { return nil },
+	}
+	err := r.Do(func(context.Context) error { calls++; return permanent })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, permanent) {
+		t.Fatalf("err = %v, want wrap of permanent", err)
+	}
+}
+
+// TestRetryContextErrorsNeverRetried stops on cancellation even when the
+// classifier would retry everything.
+func TestRetryContextErrorsNeverRetried(t *testing.T) {
+	calls := 0
+	r := Retry{Attempts: 5, sleep: func(context.Context, time.Duration) error { return nil }}
+	err := r.Do(func(context.Context) error {
+		calls++
+		return fmt.Errorf("wrapped: %w", context.DeadlineExceeded)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrap of DeadlineExceeded", err)
+	}
+}
+
+// TestRetryCanceledDuringBackoff surfaces the context error when the
+// backoff sleep is interrupted.
+func TestRetryCanceledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Retry{Attempts: 3, sleep: func(ctx context.Context, _ time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}}
+	err := r.DoContext(ctx, func(context.Context) error { return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrap of context.Canceled", err)
+	}
+}
+
+// TestRetryJitterDeterministic replays the exact backoff schedule for a
+// fixed seed and diverges for a different one.
+func TestRetryJitterDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		var delays []time.Duration
+		r := Retry{
+			Attempts:  5,
+			BaseDelay: 100 * time.Millisecond,
+			MaxDelay:  10 * time.Second,
+			Seed:      seed,
+			sleep: func(_ context.Context, d time.Duration) error {
+				delays = append(delays, d)
+				return nil
+			},
+		}
+		if err := r.Do(func(context.Context) error { return errors.New("transient") }); err == nil {
+			t.Fatal("expected exhaustion error")
+		}
+		return delays
+	}
+	a, b, c := schedule(7), schedule(7), schedule(8)
+	if len(a) != 4 {
+		t.Fatalf("len(delays) = %d, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+	// Jittered delays stay within the documented envelope around the
+	// exponential base: d·(1−J) <= slept <= d for J = 0.5.
+	base := []time.Duration{100, 200, 400, 800}
+	for i, d := range a {
+		lo, hi := base[i]*time.Millisecond/2, base[i]*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+// TestRetryNoJitter disables jitter with a negative Jitter and checks the
+// pure exponential schedule with its cap.
+func TestRetryNoJitter(t *testing.T) {
+	var delays []time.Duration
+	r := Retry{
+		Attempts:  5,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  300 * time.Millisecond,
+		Jitter:    -1,
+		sleep: func(_ context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		},
+	}
+	if err := r.Do(func(context.Context) error { return errors.New("transient") }); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond, 300 * time.Millisecond}
+	for i, d := range delays {
+		if d != want[i] {
+			t.Fatalf("delay %d = %v, want %v", i, d, want[i])
+		}
+	}
+}

@@ -23,6 +23,8 @@
 //   - the paper's full evaluation: Figures 4-9 and Table I (internal/experiment)
 //   - rumor-source localization, the paper's future-work direction
 //     (internal/sourceloc)
+//   - resilience primitives for serving solves: retry, circuit breaker,
+//     admission gate, hedging (internal/resilience, served by cmd/lcrbd)
 //
 // # Quick start
 //
@@ -48,6 +50,7 @@ import (
 	"lcrb/internal/gen"
 	"lcrb/internal/graph"
 	"lcrb/internal/heuristic"
+	"lcrb/internal/resilience"
 	"lcrb/internal/rng"
 	"lcrb/internal/sourceloc"
 )
@@ -212,6 +215,58 @@ var (
 // Realization with it to fail or panic on the Nth invocation when testing
 // cancellation and panic-containment behaviour.
 type SimFault = diffusion.Fault
+
+// Re-exported resilience primitives: small, dependency-free building
+// blocks for serving LCRB solves (retry with deterministic jitter, a
+// three-state circuit breaker, a weighted admission gate with load
+// shedding, hedged requests, and the double-Ctrl-C interrupt handler).
+// The cmd/lcrbd daemon composes all of them; they are exported for
+// embedders building their own serving layer.
+type (
+	// Retry runs an operation with exponential backoff and deterministic
+	// jitter (seeded, reproducible).
+	Retry = resilience.Retry
+	// Breaker is a three-state circuit breaker (closed, open, half-open).
+	Breaker = resilience.Breaker
+	// BreakerOptions tunes a Breaker; pass to NewBreaker.
+	BreakerOptions = resilience.BreakerOptions
+	// BreakerState is a Breaker's state.
+	BreakerState = resilience.BreakerState
+	// Gate is a weighted admission semaphore with a bounded wait queue
+	// and load shedding.
+	Gate = resilience.Gate
+	// Hedge races a primary attempt against delayed backups; the first
+	// success wins and the losers are canceled.
+	Hedge = resilience.Hedge
+	// Interrupt is the double-Ctrl-C handler: first signal drains,
+	// second force-quits.
+	Interrupt = resilience.Interrupt
+)
+
+// Resilience sentinels; test with errors.Is.
+var (
+	// ErrCircuitOpen is returned (wrapped) by a Breaker that is failing
+	// fast.
+	ErrCircuitOpen = resilience.ErrOpen
+	// ErrShed is returned (wrapped) by a Gate that refused admission
+	// because the in-flight and waiting slots are full.
+	ErrShed = resilience.ErrShed
+)
+
+// NewBreaker returns a circuit breaker; the zero BreakerOptions give a
+// breaker that opens after 5 consecutive failures and probes after 1s.
+func NewBreaker(opts BreakerOptions) *Breaker { return resilience.NewBreaker(opts) }
+
+// NewGate returns an admission gate admitting capacity units of work with
+// at most maxWaiting queued acquirers (0 sheds immediately when full,
+// negative queues without bound).
+func NewGate(capacity int64, maxWaiting int) *Gate { return resilience.NewGate(capacity, maxWaiting) }
+
+// IsSolverInterruption reports whether err is an expected solver
+// interruption — cancellation, deadline, or budget expiry — rather than a
+// failure; serving layers branch on it to decide between degrading and
+// erroring.
+func IsSolverInterruption(err error) bool { return core.IsInterruption(err) }
 
 // NewGraphBuilder returns a builder for a graph with numNodes nodes; the
 // node space grows automatically as edges are added.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-fix ci bench bench-all serve serve-smoke clean
+.PHONY: all build vet test race lint lint-fix ci bench bench-all serve serve-smoke sketch-smoke clean
 
 all: ci
 
@@ -32,8 +32,15 @@ lint-fix:
 	$(GO) run ./cmd/lcrblint -fix -vet=false ./...
 
 # ci is the gate the workflow runs: lint (fmt + vet + analyzers), build,
-# the full suite under the race detector, then the serving smoke test.
-ci: lint build race serve-smoke
+# the full suite under the race detector, then the sketch and serving
+# smoke tests.
+ci: lint build race sketch-smoke serve-smoke
+
+# sketch-smoke runs the fast RR-set sketch end-to-end check: build
+# bit-identity across worker counts, an α-achieving zero-simulation solve,
+# and an atomic save/load round trip.
+sketch-smoke:
+	$(GO) run ./cmd/lcrbbench -sketch-smoke
 
 # serve boots the lcrbd solve daemon on the default address with fast
 # defaults; Ctrl-C drains, a second Ctrl-C force-quits.

@@ -67,9 +67,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers   = fs.Int("workers", 0, "parallel evaluation goroutines (0/1 = serial, -1 = all cores); results are identical for every value")
 		perfPath  = fs.String("perf", "", "skip the experiments: run the serial-vs-parallel greedy benchmark and write its JSON report to this file")
 		perfScale = fs.Float64("perf-scale", 0.08, "network scale of the -perf benchmark instance")
+		smoke     = fs.Bool("sketch-smoke", false, "skip the experiments: run the fast RR-set sketch end-to-end check")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *smoke {
+		return runSketchSmoke(ctx, stdout, stderr)
 	}
 	if *perfPath != "" {
 		return runPerf(ctx, *perfPath, *perfScale, *workers, stdout, stderr)

@@ -12,15 +12,18 @@ import (
 
 	"lcrb/internal/community"
 	"lcrb/internal/core"
+	"lcrb/internal/diffusion"
 	"lcrb/internal/gen"
 	"lcrb/internal/rng"
+	"lcrb/internal/sketch"
 )
 
 // perfReport is the JSON document -perf writes (BENCH_greedy.json in the
 // Makefile's bench target): one serial and one parallel LCRB-P greedy
 // solve of the same instance, with the wall-clock of each and a
-// bit-identity verdict. The report is the start of the repo's performance
-// trajectory — later PRs append comparable numbers.
+// bit-identity verdict, plus the Monte-Carlo-versus-RIS estimator
+// comparison. The report is the repo's performance trajectory — later PRs
+// append comparable numbers.
 type perfReport struct {
 	Bench      string  `json:"bench"`
 	Dataset    string  `json:"dataset"`
@@ -41,6 +44,40 @@ type perfReport struct {
 	Identical   bool `json:"identical"`
 	Protectors  int  `json:"protectors"`
 	Evaluations int  `json:"evaluations"`
+	// Estimators compares the σ̂ engines on the same instance: the CELF
+	// Monte-Carlo greedy versus the RR-set sketch (build once, then
+	// zero-simulation solves), each judged by an independent Monte-Carlo
+	// evaluation of its selected set.
+	Estimators []estimatorReport `json:"estimators"`
+	// SimReductionIncludingBuild is MC's per-solve simulation count over
+	// the sketch's one-time build realizations — the factor by which RIS
+	// cuts diffusion work even when its entire build is charged to a
+	// single solve. Every further warm solve costs zero simulations.
+	SimReductionIncludingBuild float64 `json:"sim_reduction_including_build"`
+}
+
+// estimatorReport is one σ̂ engine's leg of the comparison.
+type estimatorReport struct {
+	// Estimator is "mc" or "ris".
+	Estimator string `json:"estimator"`
+	// BuildNs is the one-time sketch build wall-clock (ris only).
+	BuildNs int64 `json:"build_ns,omitempty"`
+	// SolveNs is the per-solve wall-clock.
+	SolveNs int64 `json:"solve_ns"`
+	// BuildSims counts diffusion realizations sampled at build time (ris
+	// only); SolveSims counts diffusion simulations per solve — zero for
+	// a warm sketch, Evaluations × Samples for the Monte-Carlo greedy.
+	BuildSims int `json:"build_sims,omitempty"`
+	SolveSims int `json:"solve_sims"`
+	// Protectors and Achieved describe the selected set.
+	Protectors int  `json:"protectors"`
+	Achieved   bool `json:"achieved"`
+	// SigmaSelf is the engine's own σ̂ of its selection; SigmaJudge is an
+	// independent Monte-Carlo judgment of the same set, and RelErrJudge
+	// their relative disagreement — the accuracy the speedup costs.
+	SigmaSelf   float64 `json:"sigma_self"`
+	SigmaJudge  float64 `json:"sigma_judge"`
+	RelErrJudge float64 `json:"rel_err_judge"`
 }
 
 // runPerf solves one LCRB-P instance twice — serial and parallel σ̂
@@ -126,6 +163,65 @@ func runPerf(ctx context.Context, path string, scale float64, workers int, stdou
 			parallel.Protectors, serial.Protectors)
 	}
 
+	// Estimator comparison: the same instance through the RR-set sketch
+	// engine, with both selections judged by an impartial Monte-Carlo
+	// evaluation over fresh OPOAO realizations.
+	judge := func(ps []int32) (float64, error) {
+		ev, err := core.EvaluateContext(ctx, prob, ps, core.EvaluateOptions{
+			Model: diffusion.OPOAO{}, Samples: 200, Seed: 99, Workers: workers})
+		if err != nil {
+			return 0, err
+		}
+		return float64(prob.NumEnds()) - ev.MeanEndsInfected, nil
+	}
+	buildStart := time.Now()
+	set, err := sketch.BuildContext(ctx, prob, sketch.Options{Samples: 128, Seed: 7, Workers: workers})
+	if err != nil {
+		return fmt.Errorf("sketch build: %w", err)
+	}
+	buildNs := time.Since(buildStart)
+	solveStart := time.Now()
+	ris, err := sketch.SolveGreedyRISContext(ctx, prob, set, sketch.SolveOptions{Alpha: 0.9})
+	if err != nil {
+		return fmt.Errorf("ris solve: %w", err)
+	}
+	risSolveNs := time.Since(solveStart)
+
+	mcJudge, err := judge(serial.Protectors)
+	if err != nil {
+		return fmt.Errorf("judge mc selection: %w", err)
+	}
+	risJudge, err := judge(ris.Protectors)
+	if err != nil {
+		return fmt.Errorf("judge ris selection: %w", err)
+	}
+	mcSims := serial.Evaluations * opts.Samples
+	rep.Estimators = []estimatorReport{
+		{
+			Estimator:   "mc",
+			SolveNs:     serialNs.Nanoseconds(),
+			SolveSims:   mcSims,
+			Protectors:  len(serial.Protectors),
+			Achieved:    serial.Achieved,
+			SigmaSelf:   serial.ProtectedEnds,
+			SigmaJudge:  mcJudge,
+			RelErrJudge: relErr(serial.ProtectedEnds, mcJudge),
+		},
+		{
+			Estimator:   "ris",
+			BuildNs:     buildNs.Nanoseconds(),
+			SolveNs:     risSolveNs.Nanoseconds(),
+			BuildSims:   set.Samples,
+			SolveSims:   0, // a warm sketch answers by pure max coverage
+			Protectors:  len(ris.Protectors),
+			Achieved:    ris.Achieved,
+			SigmaSelf:   ris.ProtectedEnds,
+			SigmaJudge:  risJudge,
+			RelErrJudge: relErr(ris.ProtectedEnds, risJudge),
+		},
+	}
+	rep.SimReductionIncludingBuild = float64(mcSims) / float64(set.Samples)
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -136,6 +232,24 @@ func runPerf(ctx context.Context, path string, scale float64, workers int, stdou
 	fmt.Fprintf(stdout, "greedy σ̂ bench: serial %v, parallel %v (%d workers, %d cores): %.2fx, identical=%v\n",
 		serialNs.Round(time.Millisecond), parallelNs.Round(time.Millisecond),
 		workers, rep.GoMaxProcs, rep.Speedup, rep.Identical)
+	fmt.Fprintf(stdout, "estimator bench: mc %d sims/solve vs ris %d build realizations + 0 sims/solve (%.0fx fewer incl. build); judge rel err mc %.3f, ris %.3f\n",
+		mcSims, set.Samples, rep.SimReductionIncludingBuild,
+		rep.Estimators[0].RelErrJudge, rep.Estimators[1].RelErrJudge)
 	fmt.Fprintf(stderr, "perf: report written to %s\n", path)
 	return nil
+}
+
+// relErr is |a-b| relative to b (0 when both sides vanish).
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := (a - b) / b
+	if d < 0 {
+		d = -d
+	}
+	return d
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"lcrb/internal/community"
+	"lcrb/internal/core"
+	"lcrb/internal/gen"
+	"lcrb/internal/rng"
+	"lcrb/internal/sketch"
+)
+
+// runSketchSmoke is the `make sketch-smoke` body: a fast end-to-end pass
+// over the RR-set sketch engine on a tiny instance — build bit-identity
+// across worker counts, a solve that reaches its α target with zero
+// diffusion simulations, and an atomic save/load round trip. It exists so
+// CI exercises the whole sketch path (sampler, selector, store) in
+// seconds, separately from the slower accuracy tests.
+func runSketchSmoke(ctx context.Context, stdout, stderr io.Writer) error {
+	const seed = 1
+	net, err := gen.Hep(0.03, seed)
+	if err != nil {
+		return err
+	}
+	part := community.Louvain(net.Graph, community.LouvainOptions{Seed: seed})
+	comm := part.ClosestBySize(80)
+	members := part.Members(comm)
+	src := rng.New(seed + 100)
+	k := int32(len(members) / 10)
+	if k < 2 {
+		k = 2
+	}
+	var rumors []int32
+	for _, i := range src.SampleInt32(int32(len(members)), k) {
+		rumors = append(rumors, members[i])
+	}
+	prob, err := core.NewProblem(net.Graph, part.Assign(), comm, rumors)
+	if err != nil {
+		return err
+	}
+	if prob.NumEnds() == 0 {
+		return fmt.Errorf("sketch smoke: instance has no bridge ends")
+	}
+
+	opts := sketch.Options{Samples: 64, Seed: 7}
+	start := time.Now()
+	serial, err := sketch.BuildContext(ctx, prob, opts)
+	if err != nil {
+		return fmt.Errorf("sketch smoke: serial build: %w", err)
+	}
+	opts.Workers = -1
+	parallel, err := sketch.BuildContext(ctx, prob, opts)
+	if err != nil {
+		return fmt.Errorf("sketch smoke: parallel build: %w", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		return fmt.Errorf("sketch smoke: parallel build differs from serial")
+	}
+
+	res, err := sketch.SolveGreedyRISContext(ctx, prob, serial, sketch.SolveOptions{Alpha: 0.9})
+	if err != nil {
+		return fmt.Errorf("sketch smoke: solve: %w", err)
+	}
+	if !res.Achieved {
+		return fmt.Errorf("sketch smoke: α target missed: σ̂ = %.2f of %d ends", res.ProtectedEnds, prob.NumEnds())
+	}
+
+	dir, err := os.MkdirTemp("", "sketch-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "sketch.json")
+	if err := sketch.Save(path, serial); err != nil {
+		return fmt.Errorf("sketch smoke: save: %w", err)
+	}
+	loaded, err := sketch.Load(path, sketch.Fingerprint(prob, opts))
+	if err != nil {
+		return fmt.Errorf("sketch smoke: load: %w", err)
+	}
+	reload, err := sketch.SolveGreedyRISContext(ctx, prob, loaded, sketch.SolveOptions{Alpha: 0.9})
+	if err != nil {
+		return fmt.Errorf("sketch smoke: solve from loaded sketch: %w", err)
+	}
+	if !reflect.DeepEqual(res, reload) {
+		return fmt.Errorf("sketch smoke: loaded sketch solved differently")
+	}
+
+	fmt.Fprintf(stdout, "sketch smoke: OK (%d realizations, %d pairs, %d protectors, σ̂ %.2f/%d, %v)\n",
+		serial.Samples, len(serial.Pairs), len(res.Protectors), res.ProtectedEnds,
+		prob.NumEnds(), time.Since(start).Round(time.Millisecond))
+	return nil
+}

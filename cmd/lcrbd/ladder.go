@@ -24,14 +24,16 @@ func (s *server) requestRNG(req *resolvedRequest) *rng.Source {
 
 // solve runs one request through the deadline-aware ladder:
 //
-//	exact solver (greedy, hedged with SCBG for "auto")
-//	  → SCBG cover on greedy interruption
-//	    → Proximity/MaxDegree heuristic, which always answers
+//	warm RR-set sketch (RIS max coverage, zero simulations)
+//	  → exact solver (greedy, hedged with SCBG for "auto")
+//	    → SCBG cover on greedy interruption
+//	      → Proximity/MaxDegree heuristic, which always answers
 //
-// Every rung past the first tags the response Degraded with the reason, so
-// a client under deadline pressure receives an honest cheaper answer
-// instead of a bare 5xx. Only instance-build failures (circuit open,
-// generator broken) and dead-before-start contexts surface as errors.
+// Every rung past the exact ones tags the response Degraded with the
+// reason, so a client under deadline pressure receives an honest cheaper
+// answer instead of a bare 5xx. Only instance-build failures (circuit
+// open, generator broken) and dead-before-start contexts surface as
+// errors.
 func (s *server) solve(ctx context.Context, req *resolvedRequest) (*solveResponse, error) {
 	prob, inst, err := s.problem(req)
 	if err != nil {
@@ -51,7 +53,41 @@ func (s *server) solve(ctx context.Context, req *resolvedRequest) (*solveRespons
 	case "greedy":
 		return s.solveLadder(ctx, req, inst, prob, resp, false)
 	case "auto":
+		// The fast rung: a warm sketch answers with pure max coverage and
+		// zero simulations. A miss warms the store in the background and
+		// falls through to the Monte-Carlo ladder; a solve failure (e.g.
+		// cancellation) falls through too rather than failing the request.
+		if ans, rerr := s.runRIS(ctx, req, prob, resp); rerr == nil && ans != nil {
+			return ans, nil
+		} else if rerr != nil {
+			s.logf("lcrbd: ris rung failed, falling through: %v", rerr)
+		}
 		return s.solveLadder(ctx, req, inst, prob, resp, true)
+	case "ris":
+		// Explicitly requested RIS: serve from the warm store, or degrade
+		// honestly — tagged, never silent — while a background build warms
+		// it for the next request.
+		ans, rerr := s.runRIS(ctx, req, prob, resp)
+		if rerr == nil && ans != nil {
+			return ans, nil
+		}
+		reason := "sketch store cold: build started in background"
+		if !s.sketches.enabled() {
+			reason = "sketch rung disabled (-sketch-samples 0)"
+		} else if rerr != nil {
+			reason = fmt.Sprintf("ris solve failed (%v)", rerr)
+		}
+		out, lerr := s.solveLadder(ctx, req, inst, prob, resp, true)
+		if lerr != nil {
+			return nil, lerr
+		}
+		out.Degraded = true
+		if out.DegradedReason != "" {
+			out.DegradedReason = reason + "; " + out.DegradedReason
+		} else {
+			out.DegradedReason = reason + ": served " + out.Algorithm
+		}
+		return out, nil
 	case "scbg":
 		sres, serr := core.SCBGContext(ctx, prob, core.SCBGOptions{Alpha: req.Alpha})
 		if serr != nil && (sres == nil || sres.UncoverableEnds == 0) {

@@ -1,7 +1,8 @@
 // Command lcrbd serves rumor-blocking solves over HTTP with a
-// deadline-aware fallback ladder: an exact CELF greedy answer when the
-// request budget allows, an SCBG cover or a Proximity/MaxDegree ranking —
-// honestly tagged "degraded" — when it does not. The daemon never answers
+// deadline-aware fallback ladder: an instant RR-set sketch answer when the
+// warm store matches, an exact CELF greedy answer when the request budget
+// allows, an SCBG cover or a Proximity/MaxDegree ranking — honestly tagged
+// "degraded" — when it does not. The daemon never answers
 // a bare 503: overload sheds with a typed 429, a broken instance builder
 // opens a circuit with a typed 503, and SIGTERM drains in-flight solves
 // (checkpointing interrupted greedy prefixes) before exiting 0.
@@ -64,6 +65,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		ckptDir     = fs.String("checkpoint-dir", "", "directory for drain-time checkpoints of interrupted solves")
 		chaosSpec   = fs.String("chaos", "", "fault injection: stage:failon[/every][:panic],... (stages: load, sigma, checkpoint)")
 		portFile    = fs.String("port-file", "", "write the bound port here once listening (for scripts)")
+		sketchN     = fs.Int("sketch-samples", 128, "RR-set sketch realizations for the fast rung (0 disables it)")
+		sketchDir   = fs.String("sketch-dir", "", "directory persisting built sketches across restarts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +91,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxInflight:    *maxInflight,
 		maxWaiting:     *maxWaiting,
 		checkpointDir:  *ckptDir,
+		sketchSamples:  *sketchN,
+		sketchDir:      *sketchDir,
 	}, chaos, logf)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -126,8 +131,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
 		srv.Close()
+		s.stop()
 		return fmt.Errorf("drain: %w", err)
 	}
+	s.stop()
 	logf("lcrbd: drained cleanly")
 	return nil
 }

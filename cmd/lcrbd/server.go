@@ -41,6 +41,11 @@ type serverConfig struct {
 	// checkpointDir, when set, receives checkpoints of solves interrupted
 	// by a drain.
 	checkpointDir string
+	// sketchSamples is the realization count of RR-set sketch builds for
+	// the ladder's fast rung; 0 disables the rung entirely.
+	sketchSamples int
+	// sketchDir, when set, persists built sketches across restarts.
+	sketchDir string
 }
 
 // solveRequest is the body of POST /v1/solve. Zero fields inherit server
@@ -58,9 +63,12 @@ type solveRequest struct {
 	RumorFraction float64 `json:"rumorFraction"`
 	// Alpha is the protection level for greedy (default 0.9).
 	Alpha float64 `json:"alpha"`
-	// Algorithm is auto (default), greedy, scbg, proximity or maxdegree.
-	// auto races greedy against SCBG under the deadline and degrades to a
-	// heuristic rather than failing.
+	// Algorithm is auto (default), greedy, ris, scbg, proximity or
+	// maxdegree. auto serves from a warm RR-set sketch when one matches,
+	// then races greedy against SCBG under the deadline and degrades to a
+	// heuristic rather than failing. ris requires the sketch rung: a cold
+	// or stale store degrades (tagged) to the ladder while a build warms
+	// the store in the background.
 	Algorithm string `json:"algorithm"`
 	// Samples is the σ̂ Monte-Carlo sample count (default 10).
 	Samples int `json:"samples"`
@@ -133,11 +141,12 @@ type instanceEntry struct {
 
 // server is the lcrbd serving state.
 type server struct {
-	cfg     serverConfig
-	chaos   *chaosFaults
-	gate    *resilience.Gate
-	breaker *resilience.Breaker
-	logf    func(format string, args ...any)
+	cfg      serverConfig
+	chaos    *chaosFaults
+	gate     *resilience.Gate
+	breaker  *resilience.Breaker
+	sketches *sketchStore
+	logf     func(format string, args ...any)
 
 	mu        sync.Mutex
 	instances map[instanceKey]*instanceEntry
@@ -170,11 +179,20 @@ func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, ar
 			FailureThreshold: 3,
 			Cooldown:         2 * time.Second,
 		}),
+		sketches:  newSketchStore(cfg.sketchSamples, cfg.workers, cfg.sketchDir, logf),
 		logf:      logf,
 		instances: make(map[instanceKey]*instanceEntry),
 		hardDrain: hardDrain,
 		hardStop:  hardStop,
 	}
+}
+
+// stop cancels background work (in-flight sketch builds) and waits for it
+// to exit — the last act of a drain, and of every test teardown, so no
+// build goroutine outlives the process state it logs into.
+func (s *server) stop() {
+	s.hardStop()
+	s.sketches.drainBuilds()
 }
 
 // handler builds the daemon's route table. Every route runs inside the
@@ -224,7 +242,7 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // handleStats reports admission and breaker counters.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	stats := map[string]any{
 		"inFlight": s.gate.InFlight(),
 		"waiting":  s.gate.Waiting(),
 		"shed":     s.gate.Shed(),
@@ -232,7 +250,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"draining": s.draining.Load(),
 		"requests": s.requests.Load(),
 		"degraded": s.degraded.Load(),
-	})
+	}
+	if s.sketches.enabled() {
+		stats["sketch"] = s.sketches.stats()
+	}
+	json.NewEncoder(w).Encode(stats)
 }
 
 // handleSolve admits, bounds and dispatches one solve.
@@ -329,7 +351,7 @@ func decodeSolveRequest(body io.Reader, cfg serverConfig) (*resolvedRequest, err
 		req.CommunitySize = cfg.communitySize
 	}
 	if req.CommunitySize < 0 {
-		return nil, fmt.Errorf("communitySize %d must be positive", req.CommunitySize)
+		return nil, fmt.Errorf("communitySize %d must not be negative", req.CommunitySize)
 	}
 	if req.RumorFraction == 0 {
 		req.RumorFraction = 0.05
@@ -347,15 +369,15 @@ func decodeSolveRequest(body io.Reader, cfg serverConfig) (*resolvedRequest, err
 		req.Algorithm = "auto"
 	}
 	switch req.Algorithm {
-	case "auto", "greedy", "scbg", "proximity", "maxdegree":
+	case "auto", "greedy", "ris", "scbg", "proximity", "maxdegree":
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q (want auto, greedy, scbg, proximity or maxdegree)", req.Algorithm)
+		return nil, fmt.Errorf("unknown algorithm %q (want auto, greedy, ris, scbg, proximity or maxdegree)", req.Algorithm)
 	}
 	if req.Samples == 0 {
 		req.Samples = 10
 	}
 	if req.Samples < 0 {
-		return nil, fmt.Errorf("samples %d must be positive", req.Samples)
+		return nil, fmt.Errorf("samples %d must not be negative", req.Samples)
 	}
 	if req.MaxHops == 0 {
 		req.MaxHops = 31

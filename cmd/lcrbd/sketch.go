@@ -1,0 +1,236 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcrb/internal/core"
+	"lcrb/internal/sketch"
+)
+
+// sketchStore is the daemon's warm RR-set sketch cache: the fast rung of
+// the serving ladder. A request whose fingerprint hits a warm sketch is
+// answered by pure max coverage — zero diffusion simulations — while a
+// miss falls through to the Monte-Carlo ladder and (for auto/ris requests)
+// triggers an asynchronous build so the next identical request is warm.
+//
+// Sketches live in memory keyed by fingerprint; when dir is set they also
+// persist across restarts through sketch.Save/Load, which verify the
+// fingerprint on the way in — a sketch built for a different graph, rumor
+// draw or horizon is counted stale and rebuilt, never served.
+type sketchStore struct {
+	samples int
+	workers int
+	dir     string
+	logf    func(format string, args ...any)
+
+	mu       sync.Mutex
+	sets     map[string]*sketch.Set
+	built    map[string]time.Time
+	building map[string]bool
+	// wg tracks in-flight build goroutines so shutdown can wait for them
+	// (after canceling their context) instead of leaking workers that log
+	// into a torn-down process.
+	wg sync.WaitGroup
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	stale       atomic.Int64
+	builds      atomic.Int64
+	buildErrors atomic.Int64
+}
+
+// newSketchStore returns a store building samples-realization sketches, or
+// nil when samples is 0 (the RIS rung disabled).
+func newSketchStore(samples, workers int, dir string, logf func(format string, args ...any)) *sketchStore {
+	if samples <= 0 {
+		return nil
+	}
+	return &sketchStore{
+		samples:  samples,
+		workers:  workers,
+		dir:      dir,
+		logf:     logf,
+		sets:     make(map[string]*sketch.Set),
+		built:    make(map[string]time.Time),
+		building: make(map[string]bool),
+	}
+}
+
+// enabled reports whether the RIS rung serves at all.
+func (st *sketchStore) enabled() bool { return st != nil }
+
+// options derives the request's sketch build options. The seed offset
+// keeps sketch realizations independent of the greedy's σ̂ samples while
+// staying a pure function of the request, so equal requests hit equal
+// fingerprints.
+func (st *sketchStore) options(req *resolvedRequest) sketch.Options {
+	return sketch.Options{
+		Samples: st.samples,
+		Seed:    req.Seed + 400,
+		MaxHops: req.MaxHops,
+		Workers: st.workers,
+	}
+}
+
+// path is the on-disk location of a fingerprint's sketch.
+func (st *sketchStore) path(fingerprint string) string {
+	h := fnv.New64a()
+	h.Write([]byte(fingerprint))
+	return filepath.Join(st.dir, fmt.Sprintf("sketch-%016x.json", h.Sum64()))
+}
+
+// get returns the warm sketch for the problem, consulting memory first and
+// the persistent directory second. It returns nil on a cold or stale
+// store and counts the outcome.
+func (st *sketchStore) get(prob *core.Problem, opts sketch.Options) *sketch.Set {
+	fp := sketch.Fingerprint(prob, opts)
+	st.mu.Lock()
+	set := st.sets[fp]
+	st.mu.Unlock()
+	if set != nil {
+		st.hits.Add(1)
+		return set
+	}
+	if st.dir != "" {
+		set, err := sketch.Load(st.path(fp), fp)
+		switch {
+		case err == nil:
+			st.mu.Lock()
+			st.sets[fp] = set
+			if _, ok := st.built[fp]; !ok {
+				st.built[fp] = time.Now()
+			}
+			st.mu.Unlock()
+			st.hits.Add(1)
+			return set
+		case errors.Is(err, sketch.ErrStale):
+			st.stale.Add(1)
+			st.logf("lcrbd: sketch store: stale sketch rejected: %v", err)
+		case errors.Is(err, os.ErrNotExist):
+			// Cold disk store: a plain miss.
+		default:
+			st.logf("lcrbd: sketch store: load: %v", err)
+		}
+	}
+	st.misses.Add(1)
+	return nil
+}
+
+// ensure starts an asynchronous build for the problem's sketch unless one
+// is already warm or in flight. The build runs under ctx (the daemon's
+// hard-drain context, not the request's), so an impatient client cannot
+// abandon a build every later request would have reused, while a draining
+// daemon still cancels it.
+func (st *sketchStore) ensure(ctx context.Context, prob *core.Problem, opts sketch.Options) {
+	fp := sketch.Fingerprint(prob, opts)
+	st.mu.Lock()
+	if st.sets[fp] != nil || st.building[fp] {
+		st.mu.Unlock()
+		return
+	}
+	st.building[fp] = true
+	st.mu.Unlock()
+
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		defer func() {
+			st.mu.Lock()
+			delete(st.building, fp)
+			st.mu.Unlock()
+		}()
+		start := time.Now()
+		set, err := sketch.BuildContext(ctx, prob, opts)
+		if err != nil {
+			st.buildErrors.Add(1)
+			st.logf("lcrbd: sketch build failed: %v", err)
+			return
+		}
+		st.mu.Lock()
+		st.sets[fp] = set
+		st.built[fp] = time.Now()
+		st.mu.Unlock()
+		if st.dir != "" {
+			if err := sketch.Save(st.path(fp), set); err != nil {
+				st.logf("lcrbd: sketch save: %v", err)
+			}
+		}
+		// The counter commits after persistence: once /v1/stats reports a
+		// build, the sketch is warm in memory AND (when -sketch-dir is set)
+		// durable on disk.
+		st.builds.Add(1)
+		st.logf("lcrbd: sketch built in %v: %d realizations, %d pairs",
+			time.Since(start).Round(time.Millisecond), set.Samples, len(set.Pairs))
+	}()
+}
+
+// drainBuilds blocks until every in-flight build goroutine has exited.
+// Callers cancel the builds' context (hardStop) first, so the wait is
+// bounded by a cancellation check, not a full build.
+func (st *sketchStore) drainBuilds() {
+	if st == nil {
+		return
+	}
+	st.wg.Wait()
+}
+
+// stats reports the store's counters for /v1/stats, including the age of
+// the newest warm sketch — the operator's signal that the fast rung is
+// serving fresh estimates.
+func (st *sketchStore) stats() map[string]any {
+	st.mu.Lock()
+	entries := len(st.sets)
+	var newest time.Time
+	for _, at := range st.built {
+		if at.After(newest) {
+			newest = at
+		}
+	}
+	st.mu.Unlock()
+	out := map[string]any{
+		"hits":        st.hits.Load(),
+		"misses":      st.misses.Load(),
+		"stale":       st.stale.Load(),
+		"builds":      st.builds.Load(),
+		"buildErrors": st.buildErrors.Load(),
+		"entries":     entries,
+	}
+	if !newest.IsZero() {
+		out["newestBuildAgeSeconds"] = time.Since(newest).Seconds()
+	}
+	return out
+}
+
+// runRIS serves the fast rung from a warm sketch: lazy-greedy max coverage
+// with zero diffusion simulations. It returns (nil, nil) on a cold or
+// stale store — the caller falls through to the Monte-Carlo ladder — and
+// always kicks an asynchronous build on a miss so the store warms up.
+func (s *server) runRIS(ctx context.Context, req *resolvedRequest, prob *core.Problem, resp *solveResponse) (*solveResponse, error) {
+	if !s.sketches.enabled() {
+		return nil, nil
+	}
+	opts := s.sketches.options(req)
+	set := s.sketches.get(prob, opts)
+	if set == nil {
+		s.sketches.ensure(s.hardDrain, prob, opts)
+		return nil, nil
+	}
+	res, err := sketch.SolveGreedyRISContext(ctx, prob, set, sketch.SolveOptions{Alpha: req.Alpha})
+	if err != nil {
+		return nil, err
+	}
+	out := *resp
+	out.Algorithm = "ris"
+	out.Protectors = res.Protectors
+	out.ProtectedEnds = res.ProtectedEnds
+	out.Achieved = res.Achieved
+	return &out, nil
+}

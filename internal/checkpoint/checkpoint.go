@@ -102,39 +102,53 @@ func Save(path string, s *Sweep) error {
 		return fmt.Errorf("checkpoint: save: encode: %w", err)
 	}
 	data = append(data, '\n')
+	if err := WriteFileAtomic(path, data); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path atomically and durably: a temporary
+// file in the same directory is written, fsynced, renamed into place, and
+// the directory is fsynced so the rename itself survives a crash. Parent
+// directories are created as needed. It is the write discipline behind
+// Save, exported so other persistent artifacts (the RR-set sketch store in
+// internal/sketch) share exactly the same torn-write and durability
+// guarantees.
+func WriteFileAtomic(path string, data []byte) error {
+	if path == "" {
+		return fmt.Errorf("checkpoint: write: empty path")
+	}
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("checkpoint: save: %w", err)
+		return fmt.Errorf("checkpoint: write: %w", err)
 	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("checkpoint: save: %w", err)
+		return fmt.Errorf("checkpoint: write: %w", err)
 	}
 	tmpName := tmp.Name()
 	// On any failure past this point, remove the temp file; the previous
-	// checkpoint (if any) stays untouched.
+	// file (if any) stays untouched.
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: save: write: %w", err)
+		return fmt.Errorf("checkpoint: write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: save: sync: %w", err)
+		return fmt.Errorf("checkpoint: write: sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: save: close: %w", err)
+		return fmt.Errorf("checkpoint: write: close: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: save: rename: %w", err)
+		return fmt.Errorf("checkpoint: write: rename: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
-		return err
-	}
-	return nil
+	return syncDir(dir)
 }
 
 // syncDir fsyncs a directory so a preceding rename within it is durable.

@@ -59,7 +59,7 @@ func EvaluateContext(ctx context.Context, p *Problem, protectors []int32, opts E
 	// rejected, matching GreedyContext — silently coercing it would mask a
 	// sign error in a sample-budget computation.
 	if opts.Samples < 0 {
-		return nil, fmt.Errorf("core: evaluate: samples = %d must be positive", opts.Samples)
+		return nil, fmt.Errorf("core: evaluate: samples = %d must not be negative", opts.Samples)
 	}
 	if opts.Samples == 0 {
 		opts.Samples = 50
@@ -68,7 +68,7 @@ func EvaluateContext(ctx context.Context, p *Problem, protectors []int32, opts E
 		opts.Samples = 1
 	}
 	if opts.MaxHops < 0 {
-		return nil, fmt.Errorf("core: evaluate: max hops = %d must be positive", opts.MaxHops)
+		return nil, fmt.Errorf("core: evaluate: max hops = %d must not be negative", opts.MaxHops)
 	}
 	if opts.MaxHops == 0 {
 		opts.MaxHops = DefaultGreedyHops

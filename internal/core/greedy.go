@@ -163,7 +163,7 @@ func GreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*Greedy
 		opts.Samples = 30
 	}
 	if opts.Samples < 0 {
-		return nil, fmt.Errorf("core: greedy: samples = %d must be positive", opts.Samples)
+		return nil, fmt.Errorf("core: greedy: samples = %d must not be negative", opts.Samples)
 	}
 	if opts.MaxHops == 0 {
 		opts.MaxHops = DefaultGreedyHops

@@ -1,0 +1,70 @@
+package diffusion
+
+import (
+	"fmt"
+
+	"lcrb/internal/graph"
+)
+
+// OPOAOArrivals computes the earliest activation hop of every node in the
+// fixed OPOAO realization identified by realSeed, when the given seeds
+// start active at hop 0. Entry v is the hop at which v first becomes
+// active, or -1 when v is not reached within maxHops (0 = DefaultMaxHops).
+//
+// Activation timing in OPOAO is label-independent: an active node proposes
+// FixedChoice(realSeed, u, step, deg) every step regardless of which
+// cascade owns it, so the arrival times of a mixed rumor/protector seeding
+// equal those of the seed union. That makes this single pass the timing
+// backbone of reverse-reachability sampling (internal/sketch): the rumor's
+// unopposed arrival time at a bridge end is OPOAOArrivals over the rumor
+// seeds, and a candidate protector saves the end exactly when its own
+// earliest arrival is no later (cascade P wins simultaneous arrivals).
+func OPOAOArrivals(g *graph.Graph, seeds []int32, realSeed uint64, maxHops int) ([]int32, error) {
+	if g == nil {
+		return nil, fmt.Errorf("diffusion: arrivals: nil graph")
+	}
+	if maxHops == 0 {
+		maxHops = DefaultMaxHops
+	}
+	if maxHops < 0 {
+		return nil, fmt.Errorf("diffusion: arrivals: max hops = %d must not be negative", maxHops)
+	}
+	arr := make([]int32, g.NumNodes())
+	for i := range arr {
+		arr[i] = -1
+	}
+	var active []int32
+	for _, s := range seeds {
+		if s < 0 || s >= g.NumNodes() {
+			return nil, fmt.Errorf("diffusion: arrivals: seed %d out of range [0,%d)", s, g.NumNodes())
+		}
+		if arr[s] != 0 {
+			arr[s] = 0
+			active = append(active, s)
+		}
+	}
+
+	// Same schedule as runOPOAO: at hop h every active node proposes to
+	// one out-neighbour chosen by the realization at step h+1, and the
+	// targets activate at hop h+1. The reachable-set bound gives the same
+	// early exit as the forward simulator.
+	potential := int32(len(graph.Reachable(g, append([]int32(nil), seeds...), graph.Forward)))
+	var newlyActive []int32
+	for hop := 0; hop < maxHops && int32(len(active)) < potential; hop++ {
+		step := int32(hop + 1)
+		newlyActive = newlyActive[:0]
+		for _, u := range active {
+			deg := g.OutDegree(u)
+			if deg == 0 {
+				continue
+			}
+			v := g.Out(u)[FixedChoice(realSeed, u, step, deg)]
+			if arr[v] < 0 {
+				arr[v] = step
+				newlyActive = append(newlyActive, v)
+			}
+		}
+		active = append(active, newlyActive...)
+	}
+	return arr, nil
+}

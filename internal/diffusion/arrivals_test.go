@@ -1,0 +1,122 @@
+package diffusion
+
+import (
+	"testing"
+
+	"lcrb/internal/gen"
+	"lcrb/internal/rng"
+)
+
+// TestOPOAOArrivalsMatchForwardSimulation checks the timing backbone of the
+// RR-set sampler: the arrival hops computed by OPOAOArrivals must equal the
+// activation hops observed when the forward simulator runs the same fixed
+// realization — both for a rumor-only seeding and for a mixed
+// rumor/protector seeding (activation timing is label-independent).
+func TestOPOAOArrivalsMatchForwardSimulation(t *testing.T) {
+	g, err := gen.ErdosRenyi(200, 800, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const realSeed = 77
+	const maxHops = 31
+	rumors := []int32{0, 1, 2}
+	protectors := []int32{50, 51}
+	seeds := append(append([]int32(nil), rumors...), protectors...)
+
+	arr, err := OPOAOArrivals(g, seeds, realSeed, maxHops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTrace()
+	res, err := RunOPOAORealization(g, rumors, protectors, realSeed,
+		Options{MaxHops: maxHops, Observer: tr.Observer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for v := int32(0); v < g.NumNodes(); v++ {
+		e, activated := tr.Of(v)
+		switch {
+		case activated && arr[v] < 0:
+			t.Fatalf("node %d activated at hop %d by the simulator but unreachable per arrivals", v, e.Hop)
+		case !activated && arr[v] >= 0:
+			t.Fatalf("node %d has arrival hop %d but the simulator never activated it", v, arr[v])
+		case activated && int(arr[v]) != e.Hop:
+			t.Fatalf("node %d: arrival hop %d, simulator activated at hop %d", v, arr[v], e.Hop)
+		}
+		if activated != (res.Status[v] != Inactive) {
+			t.Fatalf("node %d: trace and status disagree", v)
+		}
+	}
+}
+
+// TestOPOAOArrivalsSeedsAndBounds covers seeds, duplicates, the hop bound,
+// and input validation.
+func TestOPOAOArrivalsSeedsAndBounds(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := OPOAOArrivals(g, []int32{3, 3, 7}, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[3] != 0 || arr[7] != 0 {
+		t.Fatalf("seed arrivals = %d, %d, want 0, 0", arr[3], arr[7])
+	}
+	for v, a := range arr {
+		if a > 1 {
+			t.Fatalf("node %d arrived at hop %d with MaxHops 1", v, a)
+		}
+	}
+	if _, err := OPOAOArrivals(g, []int32{-1}, 9, 1); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+	if _, err := OPOAOArrivals(g, []int32{0}, 9, -1); err == nil {
+		t.Fatal("negative MaxHops accepted")
+	}
+	if _, err := OPOAOArrivals(nil, nil, 9, 1); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// TestOPOAOArrivalsDeterministic confirms two passes with equal inputs are
+// identical and different realization seeds eventually differ.
+func TestOPOAOArrivalsDeterministic(t *testing.T) {
+	g, err := gen.ErdosRenyi(120, 480, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int32{1, 2}
+	a1, err := OPOAOArrivals(g, seeds, 42, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := OPOAOArrivals(g, seeds, 42, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a1 {
+		if a1[v] != a2[v] {
+			t.Fatalf("node %d: arrival %d vs %d across identical runs", v, a1[v], a2[v])
+		}
+	}
+	src := rng.New(1)
+	differs := false
+	for trial := 0; trial < 8 && !differs; trial++ {
+		b, err := OPOAOArrivals(g, seeds, src.Uint64(), 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a1 {
+			if a1[v] != b[v] {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("arrivals identical across 8 different realization seeds")
+	}
+}

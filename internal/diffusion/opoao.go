@@ -46,14 +46,17 @@ func (OPOAO) RunContext(ctx context.Context, g *graph.Graph, rumors, protectors 
 // function per realization (Lemma 4).
 func RunOPOAORealization(g *graph.Graph, rumors, protectors []int32, realSeed uint64, opts Options) (*Result, error) {
 	chooser := func(u int32, step int32, deg int32) int32 {
-		return fixedChoice(realSeed, u, step, deg)
+		return FixedChoice(realSeed, u, step, deg)
 	}
 	return runOPOAO(context.Background(), g, rumors, protectors, chooser, opts)
 }
 
-// fixedChoice hashes (seed, node, step) into a choice in [0, deg) with a
-// SplitMix64-style mixer. Stateless, so realizations cost no memory.
-func fixedChoice(seed uint64, u, step, deg int32) int32 {
+// FixedChoice is the activation choice of the fixed OPOAO realization
+// identified by seed: the index of the out-neighbour that node u targets at
+// the given step, in [0, deg). It is the pure function behind
+// RunOPOAORealization, exported so reverse-reachability samplers
+// (internal/sketch) can traverse exactly the same realization backwards.
+func FixedChoice(seed uint64, u, step, deg int32) int32 {
 	x := seed ^ (uint64(uint32(u))<<32 | uint64(uint32(step)))
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

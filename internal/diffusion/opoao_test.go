@@ -220,7 +220,7 @@ func TestFixedChoiceInRange(t *testing.T) {
 		if deg <= 0 {
 			deg = 1
 		}
-		c := fixedChoice(seed, u, step, deg)
+		c := FixedChoice(seed, u, step, deg)
 		return c >= 0 && c < deg
 	}, nil); err != nil {
 		t.Fatal(err)
@@ -232,7 +232,7 @@ func TestFixedChoiceSpreads(t *testing.T) {
 	// cover many of its 10 potential targets.
 	seen := make(map[int32]bool)
 	for step := int32(0); step < 100; step++ {
-		seen[fixedChoice(99, 5, step, 10)] = true
+		seen[FixedChoice(99, 5, step, 10)] = true
 	}
 	if len(seen) < 6 {
 		t.Fatalf("fixedChoice covered only %d/10 targets over 100 steps", len(seen))

@@ -15,6 +15,20 @@ import (
 	"lcrb/internal/gen"
 )
 
+// Estimator selects the σ̂ estimation engine behind the LCRB-P greedy.
+type Estimator string
+
+const (
+	// EstimatorMC is the Monte-Carlo estimator of internal/core: a fresh
+	// sweep of diffusion simulations per candidate evaluation (the
+	// paper's setup).
+	EstimatorMC Estimator = "mc"
+	// EstimatorRIS is the RR-set sketch estimator of internal/sketch: a
+	// one-time build of fixed realizations, then pure max coverage with
+	// zero per-solve simulations.
+	EstimatorRIS Estimator = "ris"
+)
+
 // Dataset selects the calibrated network profile.
 type Dataset string
 
@@ -53,6 +67,13 @@ type Config struct {
 	// GreedySamples is the Monte-Carlo sample count inside the LCRB-P
 	// greedy's σ̂ estimator.
 	GreedySamples int
+	// Estimator selects the σ̂ engine for the LCRB-P greedy: EstimatorMC
+	// (default, the paper's Monte-Carlo setup) or EstimatorRIS (RR-set
+	// sketches).
+	Estimator Estimator
+	// RISSamples is the realization count of EstimatorRIS sketch builds;
+	// ignored under EstimatorMC. 0 means the sketch package default.
+	RISSamples int
 	// Workers parallelizes σ̂ evaluation inside the LCRB-P greedy (see
 	// core.GreedyOptions.Workers): 0 or 1 means serial, negative means
 	// GOMAXPROCS. Results are bit-identical for every worker count, so
@@ -85,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if len(c.RumorFractions) == 0 {
 		c.RumorFractions = []float64{0.05}
 	}
+	if c.Estimator == "" {
+		c.Estimator = EstimatorMC
+	}
 	return c
 }
 
@@ -103,6 +127,12 @@ func (c Config) validate() error {
 		if f <= 0 || f > 1 {
 			return fmt.Errorf("experiment: rumor fraction %v out of (0,1]", f)
 		}
+	}
+	if c.Estimator != "" && c.Estimator != EstimatorMC && c.Estimator != EstimatorRIS {
+		return fmt.Errorf("experiment: unknown estimator %q", c.Estimator)
+	}
+	if c.RISSamples < 0 {
+		return fmt.Errorf("experiment: ris samples = %d must not be negative", c.RISSamples)
 	}
 	return nil
 }

@@ -27,6 +27,8 @@ func TestConfigValidate(t *testing.T) {
 		{"bad scale", Config{Dataset: Hep, Scale: 2, CommunityTarget: 10}},
 		{"bad target", Config{Dataset: Hep, Scale: 1, CommunityTarget: 0}},
 		{"bad fraction", Config{Dataset: Hep, Scale: 1, CommunityTarget: 10, RumorFractions: []float64{2}}},
+		{"bad estimator", Config{Dataset: Hep, Scale: 1, CommunityTarget: 10, Estimator: "quantum"}},
+		{"bad ris samples", Config{Dataset: Hep, Scale: 1, CommunityTarget: 10, RISSamples: -1}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"lcrb/internal/diffusion"
 	"lcrb/internal/heuristic"
 	"lcrb/internal/rng"
+	"lcrb/internal/sketch"
 )
 
 // Algorithm labels used across figures and tables.
@@ -80,21 +81,43 @@ func RunFigureOPOAOContext(ctx context.Context, inst *Instance) (*FigureResult, 
 			Protectors:    make(map[string]int),
 		}
 
-		// Greedy (LCRB-P) under the protector budget.
+		// Greedy (LCRB-P) under the protector budget, driven by the
+		// configured σ̂ estimator.
 		var greedySeeds []int32
 		if prob.NumEnds() > 0 {
-			gres, err := core.GreedyContext(ctx, prob, core.GreedyOptions{
-				Alpha:         0.99,
-				Samples:       cfg.GreedySamples,
-				Seed:          cfg.Seed + 3,
-				MaxHops:       cfg.Hops,
-				MaxProtectors: budget,
-				Workers:       cfg.Workers,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s: greedy: %w", cfg.Name, err)
+			switch cfg.Estimator {
+			case EstimatorRIS:
+				set, err := sketch.BuildContext(ctx, prob, sketch.Options{
+					Samples: cfg.RISSamples,
+					Seed:    cfg.Seed + 3,
+					MaxHops: cfg.Hops,
+					Workers: cfg.Workers,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s: sketch build: %w", cfg.Name, err)
+				}
+				gres, err := sketch.SolveGreedyRISContext(ctx, prob, set, sketch.SolveOptions{
+					Alpha:         0.99,
+					MaxProtectors: budget,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s: greedy (ris): %w", cfg.Name, err)
+				}
+				greedySeeds = gres.Protectors
+			default:
+				gres, err := core.GreedyContext(ctx, prob, core.GreedyOptions{
+					Alpha:         0.99,
+					Samples:       cfg.GreedySamples,
+					Seed:          cfg.Seed + 3,
+					MaxHops:       cfg.Hops,
+					MaxProtectors: budget,
+					Workers:       cfg.Workers,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s: greedy: %w", cfg.Name, err)
+				}
+				greedySeeds = gres.Protectors
 			}
-			greedySeeds = gres.Protectors
 		}
 		// Keep budgets equal across algorithms: heuristics get exactly as
 		// many seeds as the greedy ended up using (or the full budget when

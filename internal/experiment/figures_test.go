@@ -304,3 +304,34 @@ func TestCheckTableShapes(t *testing.T) {
 		t.Fatal("SCBG losing every row passed")
 	}
 }
+
+func TestRunFigureOPOAOWithRISEstimator(t *testing.T) {
+	cfg := smallOPOAOConfig()
+	cfg.Name = "fig4-ris-test"
+	cfg.Estimator = EstimatorRIS
+	cfg.RISSamples = 64
+	inst, err := Setup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := RunFigureOPOAO(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := fr.Panels[0]
+	series, ok := panel.Series[AlgoGreedy]
+	if !ok {
+		t.Fatal("missing Greedy series under the RIS estimator")
+	}
+	if len(series) != inst.Config.Hops+1 {
+		t.Fatalf("series length = %d, want %d", len(series), inst.Config.Hops+1)
+	}
+	if panel.NumEnds > 0 && panel.Protectors[AlgoGreedy] == 0 {
+		t.Fatal("RIS estimator selected no protectors despite bridge ends")
+	}
+	// The RIS greedy must block at least as well as doing nothing.
+	final, none := series[len(series)-1], panel.Series[AlgoNoBlocking][len(series)-1]
+	if final > none {
+		t.Fatalf("RIS greedy final infected %.1f worse than NoBlocking %.1f", final, none)
+	}
+}

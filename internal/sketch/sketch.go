@@ -1,0 +1,426 @@
+// Package sketch is the reverse-reachable (RR) set estimation layer of the
+// LCRB-P solver: a sampling engine that turns protector selection into
+// max-coverage over precomputed sketches, following the randomized
+// rumor-blocking algorithms of Tong et al. (arXiv:1701.02368) and the
+// distributed sketch reuse of arXiv:1711.07412.
+//
+// The Monte-Carlo estimator in internal/core pays for σ̂(S) with a fresh
+// sweep of diffusion simulations per candidate seed set — thousands of
+// simulations per solve. This package inverts the cost: a one-time build
+// samples N fixed OPOAO realizations, and for every (realization, bridge
+// end) pair records the RR set — the protector seeds that would save that
+// end in that realization. Afterwards σ̂(S) is a pure set-coverage count,
+//
+//	σ̂(S) = (baseline-safe pairs + pairs whose RR set intersects S) / N,
+//
+// and a whole greedy solve costs zero diffusion simulations. Build once,
+// answer many solves cheaply.
+//
+// # Sampler semantics
+//
+// Each realization is the fixed OPOAO realization of internal/diffusion:
+// node u's activation target at step t is the pure function
+// diffusion.FixedChoice(realSeed, u, t, deg), so activation timing is
+// label-independent and a single temporal-arrival pass
+// (diffusion.OPOAOArrivals) yields the rumor's unopposed arrival hop t_R(e)
+// at every bridge end e. A pair (realization, e) with t_R(e) < 0 is
+// baseline-safe: the rumor never reaches e within MaxHops, so e survives
+// under every protector set. Otherwise the RR set of the pair is computed
+// by a backward temporal search from e: node u belongs to it when a
+// protector cascade seeded at u alone can reach e by hop t_R(e) (cascade P
+// wins simultaneous arrivals), moving only along steps the realization
+// actually schedules, never through a rumor seed, and never passing a node
+// later than the rumor's own arrival there. Seeding S saves the pair
+// exactly when S intersects its RR set, up to the cascade-interleaving
+// effects that the paper's Lemma 4 bounds; the estimator's agreement with
+// Monte-Carlo σ̂ is enforced empirically by the accuracy tests.
+//
+// # Determinism contract
+//
+// Builds follow the PR-3 common-random-numbers discipline: realization
+// seeds are drawn once from rng.New(Options.Seed), every RR set is a pure
+// function of (realization seed, problem), and workers write into
+// per-realization slots that are assembled in realization order. A
+// completed build is bit-identical for every Workers value, byte for byte
+// through Save.
+package sketch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"lcrb/internal/core"
+	"lcrb/internal/diffusion"
+	"lcrb/internal/rng"
+)
+
+// DefaultSamples is the default realization count of a build. RR coverage
+// counts average over realizations exactly like Monte-Carlo σ̂ averages
+// over samples; more realizations tighten the estimate at linear build
+// cost and zero per-solve cost.
+const DefaultSamples = 128
+
+// Options tunes a sketch build.
+type Options struct {
+	// Samples is the number of fixed realizations sampled. Defaults to
+	// DefaultSamples; negative is an error.
+	Samples int
+	// Seed drives the realization seeds; the same seed reproduces the
+	// build bit for bit.
+	Seed uint64
+	// MaxHops bounds the temporal horizon of every realization. Defaults
+	// to core.DefaultGreedyHops, matching the Monte-Carlo estimator.
+	MaxHops int
+	// Workers bounds the build's concurrency: 0 or 1 means serial,
+	// negative means GOMAXPROCS. The built sketch is bit-identical for
+	// every value.
+	Workers int
+	// MaxDuration caps the build's wall clock. 0 means unlimited. A
+	// build that exceeds it fails with an error wrapping
+	// core.ErrBudgetExhausted — there is no partial sketch: a sketch with
+	// fewer realizations than requested would silently change every σ̂ it
+	// later serves.
+	MaxDuration time.Duration
+	// Fault, when non-nil, injects a failure per sampled realization on
+	// the fault's schedule, for testing build error paths.
+	Fault *diffusion.Fault
+}
+
+// Pair is one (realization, bridge end) sample whose fate depends on the
+// protector set: the rumor reaches the end at some hop, and Nodes lists
+// every node whose lone protector cascade would save it.
+type Pair struct {
+	// Realization indexes the sampled realization.
+	Realization int32 `json:"r"`
+	// End indexes the bridge end in Problem.Ends.
+	End int32 `json:"e"`
+	// Nodes is the RR set, sorted ascending. It always contains the end
+	// itself (seeding a protector on the end saves it at hop 0), so full
+	// coverage is always achievable.
+	Nodes []int32 `json:"nodes"`
+}
+
+// Set is a built sketch: everything needed to answer σ̂ queries for one
+// problem without running another diffusion simulation.
+type Set struct {
+	// Samples, Seed and MaxHops echo the build options.
+	Samples int    `json:"samples"`
+	Seed    uint64 `json:"seed"`
+	MaxHops int    `json:"maxHops"`
+	// NumEnds is |B| of the problem the sketch was built for.
+	NumEnds int `json:"numEnds"`
+	// Fingerprint binds the sketch to (graph, rumor set, ends, model,
+	// seed, samples, hops); see Fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// BaselinePairs counts the (realization, end) pairs the rumor never
+	// reaches within MaxHops — saved under every protector set, the
+	// sketch analogue of GreedyResult.BaselineEnds.
+	BaselinePairs int `json:"baselinePairs"`
+	// Pairs holds the coverable pairs in (realization, end) order.
+	Pairs []Pair `json:"pairs"`
+
+	// byNode inverts Pairs: for each node, the indices of the pairs whose
+	// RR set contains it. Rebuilt on load, never serialized.
+	byNode map[int32][]int32
+}
+
+// Sigma estimates σ̂(S) from the sketch: the expected number of bridge
+// ends left uninfected under protector set S, averaged over the sampled
+// realizations. It runs no simulations.
+func (s *Set) Sigma(protectors []int32) float64 {
+	if s.Samples <= 0 {
+		return 0
+	}
+	return float64(s.BaselinePairs+s.coveredPairs(protectors)) / float64(s.Samples)
+}
+
+// coveredPairs counts the pairs whose RR set intersects S.
+func (s *Set) coveredPairs(protectors []int32) int {
+	covered := make(map[int32]bool)
+	for _, u := range protectors {
+		for _, pi := range s.byNode[u] {
+			covered[pi] = true
+		}
+	}
+	return len(covered)
+}
+
+// Candidates returns every node that appears in at least one RR set,
+// sorted ascending — the nodes with any marginal value under the sketch.
+func (s *Set) Candidates() []int32 {
+	out := make([]int32, 0, len(s.byNode))
+	for u := range s.byNode {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// buildIndex (re)builds the node → pair inversion.
+func (s *Set) buildIndex() {
+	s.byNode = make(map[int32][]int32)
+	for pi, pair := range s.Pairs {
+		for _, u := range pair.Nodes {
+			s.byNode[u] = append(s.byNode[u], int32(pi))
+		}
+	}
+}
+
+// Build samples the sketch for p; see BuildContext.
+func Build(p *core.Problem, opts Options) (*Set, error) {
+	return BuildContext(context.Background(), p, opts)
+}
+
+// BuildContext runs a sketch build under ctx. The context is checked
+// before every realization, so cancellation latency is one bounded
+// realization. Builds are all-or-nothing: on cancellation, budget expiry
+// or a sampling failure the error is returned and no Set — a truncated
+// sketch would bias every later estimate.
+func BuildContext(ctx context.Context, p *core.Problem, opts Options) (*Set, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sketch: build: nil problem")
+	}
+	if opts.Samples == 0 {
+		opts.Samples = DefaultSamples
+	}
+	if opts.Samples < 0 {
+		return nil, fmt.Errorf("sketch: build: samples = %d must not be negative", opts.Samples)
+	}
+	if opts.MaxHops == 0 {
+		opts.MaxHops = core.DefaultGreedyHops
+	}
+	if opts.MaxHops < 0 {
+		return nil, fmt.Errorf("sketch: build: max hops = %d must not be negative", opts.MaxHops)
+	}
+	if len(p.Ends) == 0 {
+		return nil, core.ErrNoBridgeEnds
+	}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > opts.Samples {
+		workers = opts.Samples
+	}
+
+	// One realization seed per sample, drawn exactly like the greedy's
+	// common-random-numbers seeds: a pure function of Options.Seed.
+	realSeeds := make([]uint64, opts.Samples)
+	seedSrc := rng.New(opts.Seed)
+	for i := range realSeeds {
+		realSeeds[i] = seedSrc.Uint64()
+	}
+
+	var deadline time.Time
+	if opts.MaxDuration > 0 {
+		deadline = time.Now().Add(opts.MaxDuration)
+	}
+
+	// perReal[i] collects realization i's pairs; slots keep assembly
+	// order independent of scheduling, so the Set is worker-count
+	// invariant.
+	perReal := make([][]Pair, opts.Samples)
+	baseline := make([]int, opts.Samples)
+	errs := make([]error, opts.Samples)
+
+	sampleOne := func(sc *scratch, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return fmt.Errorf("%w: sketch build wall-clock budget spent before realization %d",
+				core.ErrBudgetExhausted, i)
+		}
+		if err := opts.Fault.Check(); err != nil {
+			return fmt.Errorf("sketch: build realization %d: %w", i, err)
+		}
+		pairs, base, err := sampleRealization(sc, p, realSeeds[i], int32(i), opts.MaxHops)
+		if err != nil {
+			return fmt.Errorf("sketch: build realization %d: %w", i, err)
+		}
+		perReal[i] = pairs
+		baseline[i] = base
+		return nil
+	}
+
+	if workers == 1 {
+		sc := newScratch(p)
+		for i := 0; i < opts.Samples; i++ {
+			if errs[i] = sampleOne(sc, i); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := newScratch(p)
+				for i := w; i < opts.Samples; i += workers {
+					if errs[i] = sampleOne(sc, i); errs[i] != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Surface the failure at the smallest realization index, preferring
+	// genuine failures over cancellation fallout (the internal/core
+	// convention for worker-pool sweeps).
+	var cancelErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if core.IsInterruption(err) {
+			if cancelErr == nil {
+				cancelErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+
+	set := &Set{
+		Samples: opts.Samples,
+		Seed:    opts.Seed,
+		MaxHops: opts.MaxHops,
+		NumEnds: len(p.Ends),
+	}
+	for i := range perReal {
+		set.BaselinePairs += baseline[i]
+		set.Pairs = append(set.Pairs, perReal[i]...)
+	}
+	set.Fingerprint = Fingerprint(p, opts)
+	set.buildIndex()
+	return set, nil
+}
+
+// scratch is the per-worker reusable state of the backward searches.
+type scratch struct {
+	// best[v] is the latest hop by which a protector must activate v for
+	// the current end to be saved; valid when stamp[v] == cur.
+	best  []int32
+	stamp []int32
+	cur   int32
+	// buckets[t] queues nodes whose best need is t, processed from high
+	// to low so the first pop of a node carries its final (maximum) need.
+	buckets [][]int32
+}
+
+func newScratch(p *core.Problem) *scratch {
+	n := p.Graph.NumNodes()
+	return &scratch{best: make([]int32, n), stamp: make([]int32, n)}
+}
+
+// sampleRealization computes the pairs of one realization: a forward
+// temporal-arrival pass for the rumor clock, then one backward RR search
+// per coverable end.
+func sampleRealization(sc *scratch, p *core.Problem, realSeed uint64, realIdx int32, maxHops int) ([]Pair, int, error) {
+	arrR, err := diffusion.OPOAOArrivals(p.Graph, p.Rumors, realSeed, maxHops)
+	if err != nil {
+		return nil, 0, err
+	}
+	var pairs []Pair
+	base := 0
+	for ei, e := range p.Ends {
+		tR := arrR[e]
+		if tR < 0 {
+			base++ // rumor never arrives: saved under every protector set
+			continue
+		}
+		nodes := sc.rrSet(p, realSeed, e, tR, arrR)
+		pairs = append(pairs, Pair{Realization: realIdx, End: int32(ei), Nodes: nodes})
+	}
+	return pairs, base, nil
+}
+
+// rrSet runs the backward temporal search from end e with rumor arrival
+// hop tR: it returns every node u (rumor seeds excluded) from which a lone
+// protector cascade reaches e by hop tR in this realization.
+//
+// The search propagates "need" values: need(x) is the latest hop by which
+// the protector cascade must activate x so the label still reaches e in
+// time. need(e) = tR; an in-neighbour w of x can relay at the largest
+// scheduled step t ≤ need(x) with FixedChoice(realSeed, w, t, deg(w))
+// targeting x, giving need(w) = t − 1, further capped by the rumor's own
+// arrival at w (a node the rumor claims first cannot relay the protector).
+// Needs are integers in [0, tR], so a bucket queue processed from high to
+// low finalizes each node at its maximum need — a Dijkstra over at most
+// tR+1 distinct priorities.
+func (sc *scratch) rrSet(p *core.Problem, realSeed uint64, e, tR int32, arrR []int32) []int32 {
+	g := p.Graph
+	sc.cur++
+	if int(tR)+1 > len(sc.buckets) {
+		sc.buckets = make([][]int32, tR+1)
+	}
+	buckets := sc.buckets[:tR+1]
+	for t := range buckets {
+		buckets[t] = buckets[t][:0]
+	}
+	push := func(v, need int32) {
+		sc.best[v] = need
+		sc.stamp[v] = sc.cur
+		buckets[need] = append(buckets[need], v)
+	}
+	// visited is encoded as a negative best value after the first pop.
+	push(e, tR)
+
+	var out []int32
+	for t := tR; t >= 0; t-- {
+		for bi := 0; bi < len(buckets[t]); bi++ {
+			x := buckets[t][bi]
+			if sc.best[x] != t { // stale entry: finalized at a higher need
+				continue
+			}
+			sc.best[x] = -1 - t // mark finalized
+			out = append(out, x)
+			if t == 0 {
+				continue // relaying to x would need activation before hop 0
+			}
+			for _, w := range g.In(x) {
+				if p.IsRumor(w) {
+					continue // the rumor's own seeds never relay cascade P
+				}
+				if sc.stamp[w] == sc.cur && sc.best[w] < 0 {
+					continue // already finalized at its maximum need
+				}
+				deg := g.OutDegree(w)
+				// Latest step ≤ t at which the realization schedules w to
+				// target x; the horizon is ≤ 31 hops, so the scan is short.
+				cand := int32(-1)
+				for step := t; step >= 1; step-- {
+					if g.Out(w)[diffusion.FixedChoice(realSeed, w, step, deg)] == x {
+						cand = step - 1
+						break
+					}
+				}
+				if cand < 0 {
+					continue
+				}
+				if rw := arrR[w]; rw >= 0 && rw < cand {
+					cand = rw // the rumor claims w at rw: P must win w first
+				}
+				if sc.stamp[w] == sc.cur && sc.best[w] >= cand {
+					continue
+				}
+				push(w, cand)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

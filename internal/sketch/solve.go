@@ -1,0 +1,164 @@
+package sketch
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+
+	"lcrb/internal/core"
+)
+
+// SolveOptions tunes the RIS selector.
+type SolveOptions struct {
+	// Alpha is the fraction of bridge ends to protect, in (0, 1).
+	// Defaults to 0.9, matching core.GreedyOptions.
+	Alpha float64
+	// MaxProtectors caps the seed-set size. 0 means |B|.
+	MaxProtectors int
+}
+
+// SolveGreedyRIS selects protectors by lazy-greedy max coverage over the
+// sketch; see SolveGreedyRISContext.
+func SolveGreedyRIS(p *core.Problem, set *Set, opts SolveOptions) (*core.GreedyResult, error) {
+	return SolveGreedyRISContext(context.Background(), p, set, opts)
+}
+
+// SolveGreedyRISContext is the sketch-based counterpart of
+// core.GreedyContext: it greedily covers (realization, end) pairs until
+// σ̂_RIS(S) reaches the α·|B| target, returning the same GreedyResult
+// shape with sketch-based σ̂ — and running zero diffusion simulations.
+//
+// Coverage guarantee: pair coverage is an exactly submodular set function
+// of S, so the lazy evaluation (a candidate's previous marginal coverage
+// upper-bounds its current one) selects the identical sequence to full
+// greedy, and after k selections the covered-pair count is within a
+// (1 − 1/e) factor of the best achievable with any k seeds (Nemhauser,
+// Wolsey & Fisher 1978). Because every coverable pair's RR set contains
+// its own end, some candidate always has positive marginal coverage while
+// uncovered pairs remain: run with the default protector budget of |B|,
+// the selector either reaches the α target exactly or exhausts the budget
+// with the (1 − 1/e)-approximate cover — it never stalls early.
+//
+// The sketch must belong to p: Validate is checked first and a stale
+// sketch is rejected with an error wrapping ErrStale, never silently
+// served. On cancellation the best-so-far prefix is returned with Partial
+// set, following core.GreedyContext's partial-result contract.
+func SolveGreedyRISContext(ctx context.Context, p *core.Problem, set *Set, opts SolveOptions) (*core.GreedyResult, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sketch: solve: nil problem")
+	}
+	if set == nil {
+		return nil, fmt.Errorf("sketch: solve: nil sketch set")
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.9
+	}
+	if opts.Alpha < 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("sketch: solve: alpha = %v out of (0,1)", opts.Alpha)
+	}
+	if err := set.Validate(p); err != nil {
+		return nil, fmt.Errorf("sketch: solve: %w", err)
+	}
+	maxProtectors := opts.MaxProtectors
+	if maxProtectors <= 0 {
+		maxProtectors = len(p.Ends)
+	}
+
+	n := float64(set.Samples)
+	res := &core.GreedyResult{
+		BaselineEnds: float64(set.BaselinePairs) / n,
+	}
+	// The α target in pair units: σ̂(S) ≥ RequiredEnds(α) ⇔ covered
+	// pairs ≥ required·N − baseline pairs. Everything is an integer, so
+	// the comparison is exact — no float tolerance at the stopping rule.
+	required := p.RequiredEnds(opts.Alpha)
+	targetPairs := required*set.Samples - set.BaselinePairs
+
+	// Round 0: every candidate's initial coverage is its RR-pair count.
+	pq := make(coverQueue, 0, len(set.byNode))
+	for _, u := range set.Candidates() {
+		pq = append(pq, coverEntry{node: u, gain: len(set.byNode[u]), round: 0})
+		res.Evaluations++
+	}
+	heap.Init(&pq)
+
+	covered := make([]bool, len(set.Pairs))
+	coveredCount := 0
+	round := 0
+	var selected []int32
+	var loopErr error
+	for coveredCount < targetPairs && len(selected) < maxProtectors && pq.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			loopErr = err
+			break
+		}
+		top := heap.Pop(&pq).(coverEntry)
+		if top.round != round {
+			// Stale upper bound: recount against current coverage.
+			gain := 0
+			for _, pi := range set.byNode[top.node] {
+				if !covered[pi] {
+					gain++
+				}
+			}
+			top.gain = gain
+			top.round = round
+			res.Evaluations++
+			heap.Push(&pq, top)
+			continue
+		}
+		if top.gain <= 0 {
+			break // nothing left to cover with any remaining candidate
+		}
+		for _, pi := range set.byNode[top.node] {
+			covered[pi] = true
+		}
+		coveredCount += top.gain
+		selected = append(selected, top.node)
+		res.Gains = append(res.Gains, float64(top.gain)/n)
+		round++
+	}
+
+	res.Protectors = selected
+	if res.Protectors == nil {
+		res.Protectors = []int32{}
+	}
+	res.ProtectedEnds = float64(set.BaselinePairs+coveredCount) / n
+	res.Achieved = coveredCount >= targetPairs
+	if loopErr != nil {
+		res.Partial = true
+		return res, fmt.Errorf("sketch: solve: %w", loopErr)
+	}
+	return res, nil
+}
+
+// coverEntry is a lazy-greedy priority-queue entry: gain is the candidate's
+// marginal pair coverage as of round.
+type coverEntry struct {
+	node  int32
+	gain  int
+	round int
+}
+
+// coverQueue is a max-heap on gain, ties to the smaller node id for
+// determinism.
+type coverQueue []coverEntry
+
+func (q coverQueue) Len() int { return len(q) }
+func (q coverQueue) Less(i, j int) bool {
+	if q[i].gain != q[j].gain {
+		return q[i].gain > q[j].gain
+	}
+	return q[i].node < q[j].node
+}
+func (q coverQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *coverQueue) Push(x interface{}) {
+	*q = append(*q, x.(coverEntry))
+}
+func (q *coverQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

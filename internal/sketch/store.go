@@ -1,0 +1,149 @@
+package sketch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"lcrb/internal/checkpoint"
+	"lcrb/internal/core"
+)
+
+// StoreVersion identifies the on-disk sketch schema; bump on incompatible
+// change.
+const StoreVersion = 1
+
+// ErrStale is returned (wrapped) when a sketch's fingerprint does not
+// match the problem or build options it is asked to serve — a sketch built
+// for a different graph, rumor set, model horizon, seed or sample count.
+// Test with errors.Is. Stale sketches are always rejected, never silently
+// served.
+var ErrStale = errors.New("sketch: fingerprint mismatch")
+
+// storeFile is the on-disk envelope of a Set.
+type storeFile struct {
+	Version int `json:"version"`
+	Set     Set `json:"set"`
+}
+
+// Fingerprint binds a sketch to everything that shapes its contents: a
+// hash of the graph's full adjacency structure, the rumor seed set, the
+// bridge ends, the diffusion model, and the build's seed, sample count and
+// hop horizon. Two problems with equal fingerprints produce bit-identical
+// sketches; any drift — a regenerated graph, a different rumor draw, new
+// build options — changes the fingerprint and invalidates stored sketches.
+func Fingerprint(p *core.Problem, opts Options) string {
+	samples := opts.Samples
+	if samples == 0 {
+		samples = DefaultSamples
+	}
+	maxHops := opts.MaxHops
+	if maxHops == 0 {
+		maxHops = core.DefaultGreedyHops
+	}
+	return fmt.Sprintf("sketch v%d model=opoao graph=%016x rumors=%016x ends=%016x seed=%d samples=%d hops=%d",
+		StoreVersion, graphHash(p), sliceHash(p.Rumors), sliceHash(p.Ends),
+		opts.Seed, samples, maxHops)
+}
+
+// graphHash digests the adjacency structure: node count plus every
+// out-neighbour list in node order. O(V + E), cheap next to a build.
+func graphHash(p *core.Problem) uint64 {
+	g := p.Graph
+	h := mix64(uint64(g.NumNodes()))
+	for u := int32(0); u < g.NumNodes(); u++ {
+		out := g.Out(u)
+		h = mix64(h ^ uint64(len(out)))
+		for _, v := range out {
+			h = mix64(h ^ uint64(uint32(v)))
+		}
+	}
+	return h
+}
+
+// sliceHash digests an ordered id slice.
+func sliceHash(s []int32) uint64 {
+	h := mix64(uint64(len(s)))
+	for _, v := range s {
+		h = mix64(h ^ uint64(uint32(v)))
+	}
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer: a fast, well-distributed 64-bit
+// mixer. Not cryptographic — the fingerprint guards against operational
+// staleness, not adversaries.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Validate checks that the sketch was built for exactly this problem with
+// its recorded build options, returning an error wrapping ErrStale on any
+// mismatch.
+func (s *Set) Validate(p *core.Problem) error {
+	if p == nil {
+		return fmt.Errorf("sketch: validate: nil problem")
+	}
+	want := Fingerprint(p, Options{Seed: s.Seed, Samples: s.Samples, MaxHops: s.MaxHops})
+	if s.Fingerprint != want {
+		return fmt.Errorf("sketch: stored %q, expected %q: %w", s.Fingerprint, want, ErrStale)
+	}
+	return nil
+}
+
+// Save writes the sketch atomically and durably to path, using the same
+// write-temp, fsync-file, rename, fsync-directory discipline as
+// internal/checkpoint: a reader at path observes either the previous
+// sketch or the new one in full, never a torn write, and the new sketch
+// survives a crash. Save output is a pure function of the Set, so
+// re-building and re-saving an identical sketch rewrites identical bytes.
+func Save(path string, s *Set) error {
+	if path == "" {
+		return fmt.Errorf("sketch: save: empty path")
+	}
+	if s == nil {
+		return fmt.Errorf("sketch: save: nil set")
+	}
+	data, err := json.Marshal(storeFile{Version: StoreVersion, Set: *s})
+	if err != nil {
+		return fmt.Errorf("sketch: save: encode: %w", err)
+	}
+	data = append(data, '\n')
+	if err := checkpoint.WriteFileAtomic(path, data); err != nil {
+		return fmt.Errorf("sketch: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a sketch from path and verifies it carries the expected
+// fingerprint before rebuilding its coverage index. A missing file returns
+// an error wrapping os.ErrNotExist (a cold store, not corruption); a
+// fingerprint or version mismatch returns an error wrapping ErrStale so
+// the caller can rebuild rather than serve estimates for the wrong
+// problem.
+func Load(path, fingerprint string) (*Set, error) {
+	if path == "" {
+		return nil, fmt.Errorf("sketch: load: empty path")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: load: %w", err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("sketch: load %s: decode: %w", path, err)
+	}
+	if f.Version != StoreVersion {
+		return nil, fmt.Errorf("sketch: load %s: version %d (want %d): %w", path, f.Version, StoreVersion, ErrStale)
+	}
+	if f.Set.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("sketch: load %s: stored %q, expected %q: %w", path, f.Set.Fingerprint, fingerprint, ErrStale)
+	}
+	set := f.Set
+	set.buildIndex()
+	return &set, nil
+}

@@ -19,6 +19,8 @@
 //   - bridge-end discovery via rumor forward search trees (internal/bridge)
 //   - the LCRB-P submodular greedy (CELF-accelerated) and the LCRB-D
 //     Set-Cover-Based Greedy solvers (internal/core, internal/setcover)
+//   - the RR-set sketch engine: sampling-based σ̂ estimation with a
+//     persistent sketch store for fast serving (internal/sketch)
 //   - the MaxDegree/Proximity/Random/NoBlocking baselines (internal/heuristic)
 //   - the paper's full evaluation: Figures 4-9 and Table I (internal/experiment)
 //   - rumor-source localization, the paper's future-work direction
@@ -52,6 +54,7 @@ import (
 	"lcrb/internal/heuristic"
 	"lcrb/internal/resilience"
 	"lcrb/internal/rng"
+	"lcrb/internal/sketch"
 	"lcrb/internal/sourceloc"
 )
 
@@ -261,6 +264,76 @@ func NewBreaker(opts BreakerOptions) *Breaker { return resilience.NewBreaker(opt
 // at most maxWaiting queued acquirers (0 sheds immediately when full,
 // negative queues without bound).
 func NewGate(capacity int64, maxWaiting int) *Gate { return resilience.NewGate(capacity, maxWaiting) }
+
+// Re-exported RR-set sketch types: the sampling-based σ̂ estimation layer
+// (internal/sketch). A one-time BuildSketches samples fixed OPOAO
+// realizations and records, for every (realization, bridge end) pair, the
+// reverse-reachable set of protector seeds that would save it; afterwards
+// SolveGreedyRIS selects protectors by pure max coverage — zero diffusion
+// simulations per solve. Sketches persist via SaveSketches/LoadSketches
+// with fingerprint validation, so a serving process can answer solves from
+// a warm store (cmd/lcrbd's fast rung).
+type (
+	// SketchOptions tunes a sketch build.
+	SketchOptions = sketch.Options
+	// SketchSet is a built (or loaded) sketch: an σ̂ oracle for one
+	// problem.
+	SketchSet = sketch.Set
+	// SketchPair is one (realization, bridge end) sample with its RR set.
+	SketchPair = sketch.Pair
+	// SketchSolveOptions tunes the RIS max-coverage selector.
+	SketchSolveOptions = sketch.SolveOptions
+)
+
+// ErrSketchStale is returned (wrapped) when a stored sketch's fingerprint
+// does not match the problem it is asked to serve; test with errors.Is.
+// Stale sketches are rejected, never silently served.
+var ErrSketchStale = sketch.ErrStale
+
+// BuildSketches samples the RR-set sketch of p: Options.Samples fixed
+// OPOAO realizations, deterministic per seed and bit-identical for every
+// worker count.
+func BuildSketches(p *Problem, opts SketchOptions) (*SketchSet, error) {
+	return BuildSketchesContext(context.Background(), p, opts)
+}
+
+// BuildSketchesContext is BuildSketches with cancellation and wall-clock
+// budget support. Builds are all-or-nothing: an interrupted build returns
+// no sketch rather than a silently biased one.
+func BuildSketchesContext(ctx context.Context, p *Problem, opts SketchOptions) (*SketchSet, error) {
+	return sketch.BuildContext(ctx, p, opts)
+}
+
+// SolveGreedyRIS solves LCRB-P over a prebuilt sketch by lazy-greedy max
+// coverage, returning the same GreedyResult shape as SolveGreedy with
+// sketch-based σ̂ — and running zero diffusion simulations.
+func SolveGreedyRIS(p *Problem, set *SketchSet, opts SketchSolveOptions) (*GreedyResult, error) {
+	return SolveGreedyRISContext(context.Background(), p, set, opts)
+}
+
+// SolveGreedyRISContext is SolveGreedyRIS with cancellation support; on
+// interruption the best-so-far seed set is returned with Partial set.
+func SolveGreedyRISContext(ctx context.Context, p *Problem, set *SketchSet, opts SketchSolveOptions) (*GreedyResult, error) {
+	return sketch.SolveGreedyRISContext(ctx, p, set, opts)
+}
+
+// SaveSketches writes a sketch atomically and durably to path (the
+// internal/checkpoint write discipline).
+func SaveSketches(path string, s *SketchSet) error { return sketch.Save(path, s) }
+
+// LoadSketches reads a sketch from path, rejecting version or fingerprint
+// mismatches with an error wrapping ErrSketchStale. Compute the expected
+// fingerprint with SketchFingerprint.
+func LoadSketches(path, fingerprint string) (*SketchSet, error) {
+	return sketch.Load(path, fingerprint)
+}
+
+// SketchFingerprint binds a sketch to the problem's graph, rumor set,
+// bridge ends and the build options; stored sketches whose fingerprint has
+// drifted are stale.
+func SketchFingerprint(p *Problem, opts SketchOptions) string {
+	return sketch.Fingerprint(p, opts)
+}
 
 // IsSolverInterruption reports whether err is an expected solver
 // interruption — cancellation, deadline, or budget expiry — rather than a

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-fix ci bench bench-all serve serve-smoke sketch-smoke clean
+.PHONY: all build vet test race lint lint-fix ci bench bench-all serve serve-smoke sketch-smoke load-smoke clean
 
 all: ci
 
@@ -32,9 +32,9 @@ lint-fix:
 	$(GO) run ./cmd/lcrblint -fix -vet=false ./...
 
 # ci is the gate the workflow runs: lint (fmt + vet + analyzers), build,
-# the full suite under the race detector, then the sketch and serving
-# smoke tests.
-ci: lint build race sketch-smoke serve-smoke
+# the full suite under the race detector, then the sketch, serving and
+# load smoke tests.
+ci: lint build race sketch-smoke serve-smoke load-smoke
 
 # sketch-smoke runs the fast RR-set sketch end-to-end check: build
 # bit-identity across worker counts, an α-achieving zero-simulation solve,
@@ -52,6 +52,12 @@ serve:
 # SIGTERM drain that must exit 0. See scripts/serve_smoke.sh.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# load-smoke boots lcrbd with tenant quotas, storms it with the lcrbload
+# open-loop generator (shedding, quota-shedding and coalescing all fire),
+# writes BENCH_serve.json, and drains. See scripts/load_smoke.sh.
+load-smoke:
+	sh scripts/load_smoke.sh
 
 # bench runs the greedy σ̂ micro-benchmark (serial vs parallel workers) and
 # the end-to-end perf harness, which writes BENCH_greedy.json and fails if

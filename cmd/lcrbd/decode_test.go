@@ -1,0 +1,126 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDecodeSolveRequestBounds is the table-driven boundary sweep over the
+// request validators. Note the zero-value shadow: a literal 0 for
+// rumorFraction, alpha, scale or maxHops is indistinguishable from "field
+// absent" in JSON, so it inherits the default instead of tripping the
+// (0,1] check — the table pins that down too.
+func TestDecodeSolveRequestBounds(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		wantErr string // empty means the request must decode cleanly
+	}{
+		{"negative rumorFraction", `{"rumorFraction":-0.1}`, "rumorFraction -0.1 out of (0,1]"},
+		{"rumorFraction above one", `{"rumorFraction":1.5}`, "rumorFraction 1.5 out of (0,1]"},
+		{"rumorFraction exactly one", `{"rumorFraction":1}`, ""},
+		{"rumorFraction zero defaults", `{"rumorFraction":0}`, ""},
+		{"rumorFraction in range", `{"rumorFraction":0.2}`, ""},
+		{"negative alpha", `{"alpha":-0.5}`, "alpha -0.5 out of (0,1]"},
+		{"alpha above one", `{"alpha":7}`, "alpha 7 out of (0,1]"},
+		{"alpha exactly one", `{"alpha":1}`, ""},
+		{"alpha zero defaults", `{"alpha":0}`, ""},
+		{"negative maxHops", `{"maxHops":-1}`, "maxHops -1 must not be negative"},
+		{"maxHops zero defaults", `{"maxHops":0}`, ""},
+		{"maxHops positive", `{"maxHops":5}`, ""},
+		{"negative scale", `{"scale":-1}`, "scale -1 out of (0,1]"},
+		{"scale above one", `{"scale":2}`, "scale 2 out of (0,1]"},
+		{"negative samples", `{"samples":-3}`, "samples -3 must not be negative"},
+		{"negative timeout", `{"timeoutMillis":-1}`, "timeoutMillis -1 must not be negative"},
+		{"negative communitySize", `{"communitySize":-2}`, "communitySize -2 must not be negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeSolveRequest(strings.NewReader(tc.body), testConfig())
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("decode(%s) = %v, want ok", tc.body, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("decode(%s) accepted, want %q", tc.body, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("decode(%s) = %q, want it to contain %q", tc.body, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeSolveRequestDefaults pins the zero-value fills: absent fields
+// inherit the server config and the documented constants.
+func TestDecodeSolveRequestDefaults(t *testing.T) {
+	cfg := testConfig()
+	req, err := decodeSolveRequest(strings.NewReader(`{}`), cfg)
+	if err != nil {
+		t.Fatalf("decode empty request: %v", err)
+	}
+	if req.Dataset != "hep" || req.Scale != cfg.scale || req.Seed != cfg.seed {
+		t.Fatalf("instance defaults = %s/%v/%d", req.Dataset, req.Scale, req.Seed)
+	}
+	if req.RumorFraction != 0.05 || req.Alpha != 0.9 || req.MaxHops != 31 || req.Samples != 10 {
+		t.Fatalf("solve defaults = %+v", req.solveRequest)
+	}
+	if req.Algorithm != "auto" || req.timeout != cfg.defaultTimeout {
+		t.Fatalf("dispatch defaults = %s/%v", req.Algorithm, req.timeout)
+	}
+	if req.Tenant != "" {
+		t.Fatalf("tenant default = %q, want empty (resolved at admission)", req.Tenant)
+	}
+}
+
+// TestParseTenantsGrammar covers the -tenants flag syntax.
+func TestParseTenantsGrammar(t *testing.T) {
+	got, err := parseTenants("gold:3, bronze:1")
+	if err != nil {
+		t.Fatalf("parseTenants: %v", err)
+	}
+	if got["gold"] != 3 || got["bronze"] != 1 || len(got) != 2 {
+		t.Fatalf("parseTenants = %v", got)
+	}
+	if empty, err := parseTenants(""); err != nil || empty != nil {
+		t.Fatalf("empty spec = %v, %v", empty, err)
+	}
+	for _, bad := range []string{"gold", "gold:0", "gold:-1", "gold:x", ":3", "gold:1,gold:2"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Fatalf("parseTenants(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRequestFingerprint pins the coalescing key: solve-shaping fields
+// change it, the tenant does not.
+func TestRequestFingerprint(t *testing.T) {
+	decode := func(body string) *resolvedRequest {
+		t.Helper()
+		req, err := decodeSolveRequest(strings.NewReader(body), testConfig())
+		if err != nil {
+			t.Fatalf("decode %s: %v", body, err)
+		}
+		return req
+	}
+	base := decode(`{"algorithm":"greedy","seed":4}`)
+	if fp := decode(`{"algorithm":"greedy","seed":4}`).fingerprint(); fp != base.fingerprint() {
+		t.Fatalf("equal requests fingerprint differently:\n%s\n%s", fp, base.fingerprint())
+	}
+	if fp := decode(`{"algorithm":"greedy","seed":4,"tenant":"gold"}`).fingerprint(); fp != base.fingerprint() {
+		t.Fatal("tenant changed the fingerprint; tenancy must not affect the answer")
+	}
+	for _, variant := range []string{
+		`{"algorithm":"greedy","seed":5}`,
+		`{"algorithm":"scbg","seed":4}`,
+		`{"algorithm":"greedy","seed":4,"samples":11}`,
+		`{"algorithm":"greedy","seed":4,"alpha":0.8}`,
+		`{"algorithm":"greedy","seed":4,"timeoutMillis":1234}`,
+	} {
+		if decode(variant).fingerprint() == base.fingerprint() {
+			t.Fatalf("variant %s shares the base fingerprint", variant)
+		}
+	}
+}

@@ -213,6 +213,7 @@ func (s *server) runGreedy(ctx context.Context, req *resolvedRequest, prob *core
 		MaxHops:        req.MaxHops,
 		Workers:        s.cfg.workers,
 		DeadlineMargin: s.cfg.deadlineMargin,
+		OnRound:        req.onRound,
 	}
 	if s.chaos.sigma != nil {
 		opts.Realization = s.chaos.sigma.Realization(diffusion.OPOAORealization())

@@ -7,12 +7,22 @@
 // opens a circuit with a typed 503, and SIGTERM drains in-flight solves
 // (checkpointing interrupted greedy prefixes) before exiting 0.
 //
+// Under concurrent load the daemon stays fair and cheap: identical
+// concurrent solves coalesce into one execution (single flight), admission
+// queue slots divide across tenants (X-Tenant header or the request's
+// "tenant" field; weights via -tenants) by deficit round robin so a hot
+// tenant sheds itself with a typed 429 instead of starving the others, and
+// POST /v1/solve/stream flushes each committed greedy round as a
+// Server-Sent Event so clients hold a valid partial answer before the
+// solve finishes.
+//
 // Usage:
 //
-//	lcrbd -addr 127.0.0.1:8080 -scale 0.05 -deadline 10s
+//	lcrbd -addr 127.0.0.1:8080 -scale 0.05 -deadline 10s -tenants gold:3,bronze:1
 //	curl -XPOST localhost:8080/v1/solve -d '{"alpha":0.9,"algorithm":"auto"}'
 //
-// Endpoints: POST /v1/solve, GET /healthz, GET /readyz, GET /v1/stats.
+// Endpoints: POST /v1/solve, POST /v1/solve/stream, GET /healthz,
+// GET /readyz, GET /v1/stats.
 package main
 
 import (
@@ -23,6 +33,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +79,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		portFile    = fs.String("port-file", "", "write the bound port here once listening (for scripts)")
 		sketchN     = fs.Int("sketch-samples", 128, "RR-set sketch realizations for the fast rung (0 disables it)")
 		sketchDir   = fs.String("sketch-dir", "", "directory persisting built sketches across restarts")
+		tenantSpec  = fs.String("tenants", "", "per-tenant admission weights as name:weight,... (unlisted tenants weigh 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +88,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-max-inflight %d must be positive", *maxInflight)
 	}
 	chaos, err := parseChaos(*chaosSpec)
+	if err != nil {
+		return err
+	}
+	tenants, err := parseTenants(*tenantSpec)
 	if err != nil {
 		return err
 	}
@@ -93,6 +110,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		checkpointDir:  *ckptDir,
 		sketchSamples:  *sketchN,
 		sketchDir:      *sketchDir,
+		tenants:        tenants,
 	}, chaos, logf)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -137,4 +155,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	s.stop()
 	logf("lcrbd: drained cleanly")
 	return nil
+}
+
+// parseTenants parses the -tenants spec: comma-separated name:weight pairs
+// with positive integer weights. An empty spec means no configured tenants
+// (every tenant runs at weight 1 on first use).
+func parseTenants(spec string) (map[string]int64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]int64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, weightStr, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenants %q: want name:weight", part)
+		}
+		weight, err := strconv.ParseInt(weightStr, 10, 64)
+		if err != nil || weight <= 0 {
+			return nil, fmt.Errorf("-tenants %q: weight must be a positive integer", part)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("-tenants %q: duplicate tenant %q", spec, name)
+		}
+		out[name] = weight
+	}
+	return out, nil
 }

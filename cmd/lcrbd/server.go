@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,10 @@ type serverConfig struct {
 	sketchSamples int
 	// sketchDir, when set, persists built sketches across restarts.
 	sketchDir string
+	// tenants maps tenant names to admission weights (their deficit-round-
+	// robin quantum and waiting-queue share). Unlisted tenants run at
+	// weight 1.
+	tenants map[string]int64
 }
 
 // solveRequest is the body of POST /v1/solve. Zero fields inherit server
@@ -76,6 +81,10 @@ type solveRequest struct {
 	MaxHops int `json:"maxHops"`
 	// TimeoutMillis bounds the solve (0 = server default deadline).
 	TimeoutMillis int64 `json:"timeoutMillis"`
+	// Tenant names the admission tenant this request is charged to; the
+	// X-Tenant header takes precedence, and empty means the default
+	// tenant. Tenancy never changes the answer, only the queueing.
+	Tenant string `json:"tenant"`
 }
 
 // solveResponse is the body of a successful solve. Degraded answers are
@@ -115,13 +124,21 @@ type errorBody struct {
 
 // Error codes in the envelope.
 const (
-	codeBadRequest  = "bad_request"
-	codeShed        = "shed"
-	codeDraining    = "draining"
-	codeCircuitOpen = "circuit_open"
-	codeDeadline    = "deadline"
-	codeInternal    = "internal"
+	codeBadRequest    = "bad_request"
+	codeShed          = "shed"
+	codeQuotaExceeded = "quota_exceeded"
+	codeDraining      = "draining"
+	codeCircuitOpen   = "circuit_open"
+	codeDeadline      = "deadline"
+	codeClientClosed  = "client_closed"
+	codeInternal      = "internal"
 )
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the answer was ready. The status is written for completeness
+// (the client is usually gone), logged, and deliberately not counted as a
+// degradation — the server did nothing wrong.
+const statusClientClosedRequest = 499
 
 // instanceKey identifies a cached experiment instance.
 type instanceKey struct {
@@ -146,7 +163,13 @@ type server struct {
 	gate     *resilience.Gate
 	breaker  *resilience.Breaker
 	sketches *sketchStore
-	logf     func(format string, args ...any)
+	// flights coalesces concurrent identical solves (same fingerprint)
+	// into one execution; leaders run under hardDrain, so an impatient
+	// client detaches without killing the solve other clients wait on.
+	flights   *resilience.Group
+	latencies *latencyWindow
+	started   time.Time
+	logf      func(format string, args ...any)
 
 	mu        sync.Mutex
 	instances map[instanceKey]*instanceEntry
@@ -154,6 +177,12 @@ type server struct {
 	draining atomic.Bool
 	requests atomic.Int64
 	degraded atomic.Int64
+	// solves counts leader executions (coalesced waiters excluded);
+	// canceled counts requests whose client disconnected first; streams
+	// counts /v1/solve/stream requests.
+	solves   atomic.Int64
+	canceled atomic.Int64
+	streams  atomic.Int64
 
 	// hardDrain is canceled when the drain window is nearly exhausted;
 	// in-flight solves observe it and degrade or checkpoint instead of
@@ -171,7 +200,7 @@ func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, ar
 		logf = func(string, ...any) {}
 	}
 	hardDrain, hardStop := context.WithCancel(context.Background())
-	return &server{
+	s := &server{
 		cfg:   cfg,
 		chaos: chaos,
 		gate:  resilience.NewGate(cfg.maxInflight, cfg.maxWaiting),
@@ -180,11 +209,23 @@ func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, ar
 			Cooldown:         2 * time.Second,
 		}),
 		sketches:  newSketchStore(cfg.sketchSamples, cfg.workers, cfg.sketchDir, logf),
+		flights:   resilience.NewGroup(hardDrain),
+		latencies: newLatencyWindow(512),
+		started:   time.Now(),
 		logf:      logf,
 		instances: make(map[instanceKey]*instanceEntry),
 		hardDrain: hardDrain,
 		hardStop:  hardStop,
 	}
+	names := make([]string, 0, len(cfg.tenants))
+	for name := range cfg.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.gate.SetQuota(name, cfg.tenants[name])
+	}
+	return s
 }
 
 // stop cancels background work (in-flight sketch builds) and waits for it
@@ -192,6 +233,7 @@ func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, ar
 // build goroutine outlives the process state it logs into.
 func (s *server) stop() {
 	s.hardStop()
+	s.flights.Wait()
 	s.sketches.drainBuilds()
 }
 
@@ -201,6 +243,7 @@ func (s *server) stop() {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/solve/stream", s.handleSolveStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -214,7 +257,7 @@ func (s *server) contain(next http.Handler) http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.logf("lcrbd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-				writeError(w, http.StatusInternalServerError, codeInternal,
+				s.writeError(w, http.StatusInternalServerError, codeInternal,
 					fmt.Sprintf("request panicked: %v", rec))
 			}
 		}()
@@ -232,91 +275,175 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // once draining so load balancers stop routing here.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, codeDraining, "draining: not accepting new solves")
+		s.writeError(w, http.StatusServiceUnavailable, codeDraining, "draining: not accepting new solves")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ready"}`)
 }
 
-// handleStats reports admission and breaker counters.
+// handleStats reports admission, coalescing, breaker and latency counters.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
 	stats := map[string]any{
-		"inFlight": s.gate.InFlight(),
-		"waiting":  s.gate.Waiting(),
-		"shed":     s.gate.Shed(),
-		"breaker":  s.breaker.State().String(),
-		"draining": s.draining.Load(),
-		"requests": s.requests.Load(),
-		"degraded": s.degraded.Load(),
+		"inFlight":     s.gate.InFlight(),
+		"waiting":      s.gate.Waiting(),
+		"shed":         s.gate.Shed(),
+		"quotaShed":    s.gate.QuotaShed(),
+		"breaker":      s.breaker.State().String(),
+		"draining":     s.draining.Load(),
+		"requests":     s.requests.Load(),
+		"degraded":     s.degraded.Load(),
+		"solves":       s.solves.Load(),
+		"coalesced":    s.flights.Coalesced(),
+		"canceled":     s.canceled.Load(),
+		"streams":      s.streams.Load(),
+		"uptimeMillis": time.Since(s.started).Milliseconds(),
+		"latency":      s.latencies.summary(),
 	}
+	tenants := make(map[string]any)
+	for _, ts := range s.gate.Tenants() {
+		tenants[ts.Tenant] = map[string]any{
+			"weight":    ts.Weight,
+			"inFlight":  ts.InFlight,
+			"waiting":   ts.Waiting,
+			"admitted":  ts.Admitted,
+			"shed":      ts.Shed,
+			"quotaShed": ts.QuotaShed,
+		}
+	}
+	stats["tenants"] = tenants
 	if s.sketches.enabled() {
 		stats["sketch"] = s.sketches.stats()
 	}
-	json.NewEncoder(w).Encode(stats)
+	s.writeJSON(w, stats)
 }
 
-// handleSolve admits, bounds and dispatches one solve.
+// handleSolve admits, bounds, coalesces and dispatches one solve.
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, codeDraining, "draining: not accepting new solves")
+		s.writeError(w, http.StatusServiceUnavailable, codeDraining, "draining: not accepting new solves")
 		return
 	}
 	req, err := decodeSolveRequest(r.Body, s.cfg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
-
-	// Admission: at most maxInflight solves run, maxWaiting queue behind
-	// them, and everything else sheds immediately — an overloaded daemon
-	// answers cheap typed 429s instead of queueing unboundedly.
-	if err := s.gate.AcquireContext(r.Context(), 1); err != nil {
-		if errors.Is(err, resilience.ErrShed) {
-			writeError(w, http.StatusTooManyRequests, codeShed,
-				"overloaded: in-flight and waiting slots are full, retry later")
-			return
-		}
-		writeError(w, http.StatusServiceUnavailable, codeInternal, err.Error())
+	tenant := requestTenant(r, req)
+	if !s.admit(w, r, tenant) {
 		return
 	}
-	defer s.gate.Release(1)
-
-	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
-	defer cancel()
-	// A drain past its soft deadline cancels in-flight solves so they
-	// degrade (and checkpoint) instead of holding the shutdown open.
-	stopAfter := context.AfterFunc(s.hardDrain, cancel)
-	defer stopAfter()
+	defer s.gate.ReleaseTenant(tenant, 1)
 
 	start := time.Now()
-	resp, err := s.solve(ctx, req)
+	resp, err := s.solveCoalesced(r.Context(), req)
 	if err != nil {
-		status, code := classifyError(err)
-		writeError(w, status, code, err.Error())
+		status, code := s.classifyError(r, err)
+		s.countError(r, code, err)
+		s.writeError(w, status, code, err.Error())
 		return
 	}
-	resp.ElapsedMillis = time.Since(start).Milliseconds()
-	if resp.Degraded {
+	// The response may be shared with coalesced waiters: copy before
+	// stamping this request's own serving time.
+	out := *resp
+	out.ElapsedMillis = time.Since(start).Milliseconds()
+	if out.Degraded {
 		s.degraded.Add(1)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	s.latencies.record(time.Since(start))
+	s.writeJSON(w, &out)
 }
 
-// classifyError maps a solve error to an HTTP status and envelope code.
-func classifyError(err error) (int, string) {
+// admit charges one solve slot to tenant, translating the gate's typed
+// refusals into the matching envelopes. It reports whether the request may
+// proceed; the caller owes a ReleaseTenant when it does.
+//
+// Admission is the serving layer's first defense: at most maxInflight
+// solves run, maxWaiting queue behind them in per-tenant fair shares, and
+// everything else answers a cheap typed 429 instead of queueing unboundedly.
+func (s *server) admit(w http.ResponseWriter, r *http.Request, tenant string) bool {
+	err := s.gate.AcquireTenantContext(r.Context(), tenant, 1)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, resilience.ErrQuotaExceeded):
+		s.writeError(w, http.StatusTooManyRequests, codeQuotaExceeded,
+			fmt.Sprintf("tenant %q is over its fair share of the waiting queue, retry later", tenant))
+	case errors.Is(err, resilience.ErrShed):
+		s.writeError(w, http.StatusTooManyRequests, codeShed,
+			"overloaded: in-flight and waiting slots are full, retry later")
+	default:
+		s.writeError(w, http.StatusServiceUnavailable, codeInternal, err.Error())
+	}
+	return false
+}
+
+// requestTenant resolves the tenant a request is charged to: the X-Tenant
+// header wins, then the body field, then the default tenant.
+func requestTenant(r *http.Request, req *resolvedRequest) string {
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		return h
+	}
+	if req.Tenant != "" {
+		return req.Tenant
+	}
+	return resilience.DefaultTenant
+}
+
+// solveCoalesced runs the solve through the single-flight group: concurrent
+// requests with equal fingerprints share one execution. The waiter blocks
+// under its own request context plus the request timeout; the leader runs
+// under the drain context with the same timeout, so one impatient client
+// detaches (with its own context error) without killing the solve the
+// remaining waiters share.
+func (s *server) solveCoalesced(ctx context.Context, req *resolvedRequest) (*solveResponse, error) {
+	waitCtx, cancel := context.WithTimeout(ctx, req.timeout)
+	defer cancel()
+	v, _, err := s.flights.DoContext(waitCtx, req.fingerprint(), func(run context.Context) (any, error) {
+		s.solves.Add(1)
+		solveCtx, cancel := context.WithTimeout(run, req.timeout)
+		defer cancel()
+		return s.solve(solveCtx, req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*solveResponse), nil
+}
+
+// classifyError maps a solve error to an HTTP status and envelope code. A
+// context.Canceled is three different stories: the client hung up (nginx's
+// 499, nobody is listening), the process is draining (typed 503 so the
+// retrying client moves on), or the request deadline fired (504).
+func (s *server) classifyError(r *http.Request, err error) (int, string) {
 	switch {
 	case errors.Is(err, resilience.ErrOpen):
 		return http.StatusServiceUnavailable, codeCircuitOpen
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled):
+		if r.Context().Err() != nil {
+			return statusClientClosedRequest, codeClientClosed
+		}
+		if s.draining.Load() {
+			return http.StatusServiceUnavailable, codeDraining
+		}
+		return http.StatusGatewayTimeout, codeDeadline
+	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, codeDeadline
 	case errors.Is(err, errBadRequest):
 		return http.StatusBadRequest, codeBadRequest
 	default:
 		return http.StatusInternalServerError, codeInternal
+	}
+}
+
+// countError updates the error-path counters: a client disconnect is logged
+// and tallied but never counted as a degradation — the server did nothing
+// wrong, nobody was listening.
+func (s *server) countError(r *http.Request, code string, err error) {
+	if code == codeClientClosed {
+		s.canceled.Add(1)
+		s.logf("lcrbd: client closed %s %s before the answer: %v", r.Method, r.URL.Path, err)
 	}
 }
 
@@ -356,13 +483,13 @@ func decodeSolveRequest(body io.Reader, cfg serverConfig) (*resolvedRequest, err
 	if req.RumorFraction == 0 {
 		req.RumorFraction = 0.05
 	}
-	if req.RumorFraction < 0 || req.RumorFraction > 1 {
+	if req.RumorFraction <= 0 || req.RumorFraction > 1 {
 		return nil, fmt.Errorf("rumorFraction %v out of (0,1]", req.RumorFraction)
 	}
 	if req.Alpha == 0 {
 		req.Alpha = 0.9
 	}
-	if req.Alpha < 0 || req.Alpha > 1 {
+	if req.Alpha <= 0 || req.Alpha > 1 {
 		return nil, fmt.Errorf("alpha %v out of (0,1]", req.Alpha)
 	}
 	if req.Algorithm == "" {
@@ -378,6 +505,9 @@ func decodeSolveRequest(body io.Reader, cfg serverConfig) (*resolvedRequest, err
 	}
 	if req.Samples < 0 {
 		return nil, fmt.Errorf("samples %d must not be negative", req.Samples)
+	}
+	if req.MaxHops < 0 {
+		return nil, fmt.Errorf("maxHops %d must not be negative", req.MaxHops)
 	}
 	if req.MaxHops == 0 {
 		req.MaxHops = 31
@@ -396,6 +526,21 @@ func decodeSolveRequest(body io.Reader, cfg serverConfig) (*resolvedRequest, err
 type resolvedRequest struct {
 	solveRequest
 	timeout time.Duration
+	// onRound, when non-nil, receives every committed greedy round — the
+	// streaming path. Streaming requests are never coalesced: the rounds
+	// are a per-connection side channel.
+	onRound func(core.GreedyRound)
+}
+
+// fingerprint identifies the answer a request resolves to: every field
+// that affects the solve — and nothing that does not (the tenant, which
+// only changes the queueing). Requests with equal fingerprints coalesce
+// into one execution; the timeout is included because it shapes how far
+// down the fallback ladder the answer comes from.
+func (req *resolvedRequest) fingerprint() string {
+	return fmt.Sprintf("dataset=%s scale=%g seed=%d community=%d rumorFrac=%g alpha=%g algo=%s samples=%d hops=%d timeout=%s",
+		req.Dataset, req.Scale, req.Seed, req.CommunitySize, req.RumorFraction,
+		req.Alpha, req.Algorithm, req.Samples, req.MaxHops, req.timeout)
 }
 
 // instance returns the cached experiment instance for the request,
@@ -480,9 +625,63 @@ func (s *server) problem(req *resolvedRequest) (*core.Problem, *experiment.Insta
 	return prob, inst, nil
 }
 
-// writeError emits the JSON error envelope.
-func writeError(w http.ResponseWriter, status int, code, message string) {
+// writeJSON emits a 200 JSON body. Encode failures cannot be masked — the
+// status line is already gone — so the log line is the only honest signal.
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("lcrbd: encode response: %v", err)
+	}
+}
+
+// writeError emits the JSON error envelope, logging encode failures.
+func (s *server) writeError(w http.ResponseWriter, status int, code, message string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: errorBody{Code: code, Message: message}})
+	if err := json.NewEncoder(w).Encode(errorResponse{Error: errorBody{Code: code, Message: message}}); err != nil {
+		s.logf("lcrbd: encode error envelope: %v", err)
+	}
+}
+
+// latencyWindow is a fixed-size ring of recent serving latencies backing
+// the rolling summary in /v1/stats. Safe for concurrent use.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf []time.Duration
+	n   int // lifetime recordings; buf holds the most recent len(buf)
+}
+
+// newLatencyWindow returns a window retaining the last size latencies.
+func newLatencyWindow(size int) *latencyWindow {
+	return &latencyWindow{buf: make([]time.Duration, size)}
+}
+
+// record adds one serving latency, evicting the oldest past capacity.
+func (l *latencyWindow) record(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.n%len(l.buf)] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// summary reports the lifetime count plus p50/p99 over the retained
+// window, in milliseconds. Percentiles are order-free over the ring, so no
+// eviction order is needed.
+func (l *latencyWindow) summary() map[string]any {
+	l.mu.Lock()
+	total := l.n
+	k := total
+	if k > len(l.buf) {
+		k = len(l.buf)
+	}
+	window := append([]time.Duration(nil), l.buf[:k]...)
+	l.mu.Unlock()
+	out := map[string]any{"count": total}
+	if k == 0 {
+		return out
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	out["p50Millis"] = float64(window[(k-1)*50/100]) / float64(time.Millisecond)
+	out["p99Millis"] = float64(window[(k-1)*99/100]) / float64(time.Millisecond)
+	return out
 }

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubDaemon fakes just enough of lcrbd for the generator: a solve
+// endpoint cycling through exact, degraded, shed and quota-shed answers,
+// and a stats endpoint whose coalesced counter grows with traffic.
+func stubDaemon() (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		switch n % 5 {
+		case 1:
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"shed","message":"overloaded"}}`)
+		case 2:
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"quota_exceeded","message":"tenant over share"}}`)
+		case 3:
+			fmt.Fprint(w, `{"algorithm":"scbg","protectors":[1],"degraded":true,"degradedReason":"deadline"}`)
+		default:
+			fmt.Fprint(w, `{"algorithm":"greedy","protectors":[1,2],"degraded":false}`)
+		}
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"requests":%d,"solves":%d,"coalesced":%d,"shed":0,"quotaShed":0,"degraded":0,"canceled":0}`,
+			calls.Load(), calls.Load(), calls.Load()/2)
+	})
+	return httptest.NewServer(mux), &calls
+}
+
+// TestRunEmitsReport drives the generator against the stub and checks the
+// report lands with every required metric filled in.
+func TestRunEmitsReport(t *testing.T) {
+	ts, calls := stubDaemon()
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", ts.URL,
+		"-rate", "400",
+		"-duration", "250ms",
+		"-tenants", "gold:3,bronze:1",
+		"-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if calls.Load() == 0 {
+		t.Fatal("stub never saw a request")
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Requests.Issued < 1 {
+		t.Fatalf("issued = %d, want >= 1", rep.Requests.Issued)
+	}
+	answered := rep.Requests.OK + rep.Requests.OKDegraded
+	if answered == 0 || rep.Latency.Count != answered {
+		t.Fatalf("latency.count = %d, answered = %d", rep.Latency.Count, answered)
+	}
+	if rep.Latency.P50Millis <= 0 || rep.Latency.P99Millis < rep.Latency.P50Millis ||
+		rep.Latency.P999Mills < rep.Latency.P99Millis {
+		t.Fatalf("latency percentiles out of order: %+v", rep.Latency)
+	}
+	if rep.Requests.Shed == 0 || rep.Requests.QuotaShed == 0 {
+		t.Fatalf("stub sheds never counted: %+v", rep.Requests)
+	}
+	if rep.Rates.Shed <= 0 || rep.Rates.QuotaShed <= 0 || rep.Rates.Degraded <= 0 {
+		t.Fatalf("rates not populated: %+v", rep.Rates)
+	}
+	if rep.Rates.CoalesceHit < 0 {
+		t.Fatalf("coalesce hit rate = %v, want stats-backed value", rep.Rates.CoalesceHit)
+	}
+	if rep.Server == nil || rep.Server["coalesced"].(float64) <= 0 {
+		t.Fatalf("server stats delta missing: %v", rep.Server)
+	}
+	// A generic required-field sweep over the raw JSON, so a renamed tag
+	// fails loudly here instead of in the smoke script.
+	var raw map[string]any
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	lat := raw["latency"].(map[string]any)
+	for _, key := range []string{"p50Millis", "p99Millis", "p999Millis"} {
+		if _, ok := lat[key]; !ok {
+			t.Fatalf("report latency missing %q: %v", key, lat)
+		}
+	}
+	rates := raw["rates"].(map[string]any)
+	for _, key := range []string{"shed", "quotaShed", "degraded", "coalesceHit"} {
+		if _, ok := rates[key]; !ok {
+			t.Fatalf("report rates missing %q: %v", key, rates)
+		}
+	}
+}
+
+// TestRunFailsWhenDaemonDown requires a typed failure, not an empty
+// report, when nothing answers.
+func TestRunFailsWhenDaemonDown(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", "http://127.0.0.1:1", // nothing listens on port 1
+		"-rate", "100",
+		"-duration", "50ms",
+		"-out", out,
+	}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("run succeeded against a dead daemon")
+	}
+}
+
+// TestBuildPlanDeterministic pins the schedule: equal seeds replay equal
+// mixes, different seeds do not, and the mix respects its vocabulary.
+func TestBuildPlanDeterministic(t *testing.T) {
+	tenants := []weightedName{{"gold", 3}, {"bronze", 1}}
+	algos := []string{"auto", "greedy", "scbg"}
+	data := []string{"hep"}
+	a := buildPlan(200, 7, tenants, algos, data, 2, 4000)
+	b := buildPlan(200, 7, tenants, algos, data, 2, 4000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds drew different plans")
+	}
+	c := buildPlan(200, 8, tenants, algos, data, 2, 4000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds drew identical plans")
+	}
+	counts := map[string]int{}
+	for _, p := range a {
+		counts[p.tenant]++
+		if p.solveSeed < 1 || p.solveSeed > 2 {
+			t.Fatalf("solve seed %d out of pool", p.solveSeed)
+		}
+		if p.dataset != "hep" {
+			t.Fatalf("dataset %q out of mix", p.dataset)
+		}
+	}
+	// 3:1 weights over 200 draws: gold must clearly dominate.
+	if counts["gold"] <= counts["bronze"] {
+		t.Fatalf("tenant mix ignored the weights: %v", counts)
+	}
+}
+
+// TestParseMixGrammar covers the mix syntax shared by -tenants.
+func TestParseMixGrammar(t *testing.T) {
+	got, err := parseMix("gold:3, bronze:1")
+	if err != nil {
+		t.Fatalf("parseMix: %v", err)
+	}
+	want := []weightedName{{"gold", 3}, {"bronze", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseMix = %v, want %v", got, want)
+	}
+	if empty, err := parseMix(""); err != nil || empty != nil {
+		t.Fatalf("empty mix = %v, %v", empty, err)
+	}
+	for _, bad := range []string{"gold", "gold:0", "gold:x", ":1", "gold:1,gold:2"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPercentile pins the nearest-rank math on a known distribution.
+func TestPercentile(t *testing.T) {
+	var sorted []time.Duration
+	for i := 1; i <= 100; i++ {
+		sorted = append(sorted, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(sorted, 0.50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", got)
+	}
+	if got := percentile(sorted, 0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", got)
+	}
+	if got := percentile(sorted, 1); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+}

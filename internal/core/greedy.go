@@ -76,6 +76,15 @@ type GreedyOptions struct {
 	// checkpoint — before the deadline kills the request. 0 disables the
 	// reservation; negative is an error.
 	DeadlineMargin time.Duration
+	// OnRound, when non-nil, is called synchronously after every committed
+	// selection round, on the goroutine running the selection, with a
+	// snapshot of the round and the prefix selected so far. Because greedy
+	// selections are prefixes of the uninterrupted run (the partial-result
+	// contract), every reported prefix is itself a valid protector set —
+	// serving layers stream these as incremental answers. The callback must
+	// not block: the selection waits on it. It never affects the selection
+	// itself, which stays bit-identical with or without a callback.
+	OnRound func(GreedyRound)
 	// Workers parallelizes σ̂ evaluation on up to this many goroutines: the
 	// candidate batches of every plain round and of the CELF
 	// initialization round run concurrently across seed sets, and single
@@ -94,6 +103,21 @@ type GreedyOptions struct {
 // an unbounded pool dominates the runtime; the cap keeps the strongest
 // candidates by bridge-end coverage.
 const DefaultMaxCandidates = 300
+
+// GreedyRound is the snapshot delivered to GreedyOptions.OnRound after one
+// selection round commits.
+type GreedyRound struct {
+	// Round is the 0-based index of the committed round.
+	Round int
+	// Node is the protector selected this round; Gain its marginal σ̂ gain.
+	Node int32
+	Gain float64
+	// Score is σ̂ of the selected prefix after the commit.
+	Score float64
+	// Protectors is a copy of the prefix selected so far, in selection
+	// order — safe to retain.
+	Protectors []int32
+}
 
 // GreedyResult is the output of Greedy.
 type GreedyResult struct {
@@ -248,9 +272,9 @@ func GreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*Greedy
 
 	var loopErr error
 	if opts.Plain {
-		loopErr = res.plainLoop(ev, candidates, &selected, &score, target, maxProtectors)
+		loopErr = res.plainLoop(ev, candidates, &selected, &score, target, maxProtectors, opts.OnRound)
 	} else {
-		loopErr = res.celfLoop(ev, candidates, &selected, &score, target, maxProtectors)
+		loopErr = res.celfLoop(ev, candidates, &selected, &score, target, maxProtectors, opts.OnRound)
 	}
 
 	res.Protectors = selected
@@ -336,7 +360,7 @@ func greedyCandidates(p *Problem, opts GreedyOptions) ([]int32, error) {
 // append(*selected, u) would alias selected's spare backing capacity
 // across the whole batch. An evaluator failure stops the loop with the
 // selection made so far intact.
-func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) error {
+func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int, onRound func(GreedyRound)) error {
 	remaining := append([]int32(nil), candidates...)
 	for *score < target && len(*selected) < maxProtectors && len(remaining) > 0 {
 		sets := make([][]int32, len(remaining))
@@ -358,6 +382,7 @@ func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selecte
 		}
 		r.Gains = append(r.Gains, bestScore-*score)
 		*selected = append(*selected, remaining[bestIdx])
+		notifyRound(onRound, *selected, bestScore-*score, bestScore)
 		*score = bestScore
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 	}
@@ -375,7 +400,7 @@ func (r *GreedyResult) plainLoop(ev *sigmaEvaluator, candidates []int32, selecte
 // first). Evaluating that forced sweep as one concurrent batch yields the
 // identical heap state — same gains against the same baseline — while
 // exposing the algorithm's one embarrassingly parallel phase.
-func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int) error {
+func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected *[]int32, score *float64, target float64, maxProtectors int, onRound func(GreedyRound)) error {
 	if *score >= target || len(*selected) >= maxProtectors || len(candidates) == 0 {
 		return nil
 	}
@@ -404,6 +429,7 @@ func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected
 			r.Gains = append(r.Gains, top.gain)
 			*selected = append(*selected, top.node)
 			*score += top.gain
+			notifyRound(onRound, *selected, top.gain, *score)
 			round++
 			continue
 		}
@@ -416,6 +442,22 @@ func (r *GreedyResult) celfLoop(ev *sigmaEvaluator, candidates []int32, selected
 		heap.Push(&pq, top)
 	}
 	return nil
+}
+
+// notifyRound delivers one committed round to a non-nil OnRound callback
+// with a copied prefix, so the callback may retain it while the selection
+// keeps appending.
+func notifyRound(onRound func(GreedyRound), selected []int32, gain, score float64) {
+	if onRound == nil {
+		return
+	}
+	onRound(GreedyRound{
+		Round:      len(selected) - 1,
+		Node:       selected[len(selected)-1],
+		Gain:       gain,
+		Score:      score,
+		Protectors: append([]int32(nil), selected...),
+	})
 }
 
 // celfEntry is a CELF priority-queue entry.

@@ -238,3 +238,69 @@ func TestGreedyEvaluationsCounted(t *testing.T) {
 		t.Fatalf("Evaluations = %d with %d protectors", res.Evaluations, len(res.Protectors))
 	}
 }
+
+// TestGreedyOnRoundStreamsPrefixes checks the OnRound hook: one callback
+// per committed round, each carrying a safe copy of the growing prefix,
+// with the final round matching the result — and the hook must not change
+// the selection at all.
+func TestGreedyOnRoundStreamsPrefixes(t *testing.T) {
+	p := fixtureProblem(t)
+	opts := GreedyOptions{Alpha: 0.9, Samples: 20, Seed: 1}
+	plain, err := Greedy(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rounds []GreedyRound
+	opts.OnRound = func(r GreedyRound) { rounds = append(rounds, r) }
+	hooked, err := Greedy(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Protectors, hooked.Protectors) || plain.ProtectedEnds != hooked.ProtectedEnds {
+		t.Fatal("OnRound changed the selection")
+	}
+	if len(rounds) != len(hooked.Protectors) {
+		t.Fatalf("got %d rounds, want %d", len(rounds), len(hooked.Protectors))
+	}
+	for i, r := range rounds {
+		if r.Round != i {
+			t.Fatalf("round %d reported index %d", i, r.Round)
+		}
+		if r.Node != hooked.Protectors[i] {
+			t.Fatalf("round %d node = %d, want %d", i, r.Node, hooked.Protectors[i])
+		}
+		if !reflect.DeepEqual(r.Protectors, hooked.Protectors[:i+1]) {
+			t.Fatalf("round %d prefix = %v, want %v", i, r.Protectors, hooked.Protectors[:i+1])
+		}
+		if r.Gain != hooked.Gains[i] {
+			t.Fatalf("round %d gain = %v, want %v", i, r.Gain, hooked.Gains[i])
+		}
+	}
+	last := rounds[len(rounds)-1]
+	if last.Score != hooked.ProtectedEnds {
+		t.Fatalf("final round score = %v, want %v", last.Score, hooked.ProtectedEnds)
+	}
+	// The reported prefixes are copies: mutating one must not corrupt the
+	// result.
+	rounds[0].Protectors[0] = -1
+	if hooked.Protectors[0] == -1 {
+		t.Fatal("OnRound shares the selection's backing array")
+	}
+
+	// Plain mode fires the same rounds.
+	var plainRounds []GreedyRound
+	opts.Plain = true
+	opts.OnRound = func(r GreedyRound) { plainRounds = append(plainRounds, r) }
+	if _, err := Greedy(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(plainRounds) != len(rounds) {
+		t.Fatalf("plain mode fired %d rounds, CELF %d", len(plainRounds), len(rounds))
+	}
+	for i := range plainRounds {
+		if plainRounds[i].Node != rounds[i].Node || plainRounds[i].Round != rounds[i].Round {
+			t.Fatalf("plain round %d = %+v, CELF %+v", i, plainRounds[i], rounds[i])
+		}
+	}
+}

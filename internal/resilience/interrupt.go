@@ -63,10 +63,19 @@ func (i Interrupt) NotifyContext(parent context.Context) (context.Context, conte
 	notify(sigc, signals...)
 	done := make(chan struct{})
 	go func() {
+		// Re-check done after every wake-up: when a signal and the stop
+		// race, select picks between the two ready channels at random, and
+		// a signal that loses the race to stop must never fire OnFirst or
+		// Exit — stop means the caller has already released the watcher.
 		select {
 		case <-done:
 			return
 		case <-sigc:
+			select {
+			case <-done:
+				return
+			default:
+			}
 		}
 		if i.OnFirst != nil {
 			i.OnFirst()
@@ -76,6 +85,11 @@ func (i Interrupt) NotifyContext(parent context.Context) (context.Context, conte
 		case <-done:
 			return
 		case <-sigc:
+			select {
+			case <-done:
+				return
+			default:
+			}
 		}
 		exit(code)
 	}()

@@ -1,9 +1,11 @@
 // Package resilience provides the small, dependency-free primitives the
 // serving layer (cmd/lcrbd) is built from: Retry with exponential backoff
 // and deterministic jitter, a three-state circuit Breaker, a weighted-
-// semaphore admission Gate with load shedding, a Hedge helper that races a
-// backup attempt against a slow primary, and an Interrupt helper
-// implementing the double-Ctrl-C escape hatch shared by every command.
+// semaphore admission Gate with load shedding and per-tenant fair
+// queueing, a single-flight Group that coalesces concurrent identical
+// calls into one execution, a Hedge helper that races a backup attempt
+// against a slow primary, and an Interrupt helper implementing the
+// double-Ctrl-C escape hatch shared by every command.
 //
 // The primitives follow the repo's robustness conventions: every blocking
 // operation takes a context (with a Background-delegating non-context
@@ -26,6 +28,11 @@ var (
 	// immediately rather than queued behind work that cannot finish in
 	// time.
 	ErrShed = errors.New("resilience: admission shed")
+	// ErrQuotaExceeded is returned (wrapped) by Gate.AcquireTenantContext
+	// when the acquiring tenant's fair share of the waiting queue is full
+	// while the queue as a whole still has room: the hot tenant sheds
+	// itself without starving the others.
+	ErrQuotaExceeded = errors.New("resilience: tenant quota exceeded")
 	// ErrPanic is returned (wrapped) by Hedge.DoContext when an attempt
 	// panics. Hedge attempts run on internal goroutines, where an uncaught
 	// panic would kill the whole process instead of failing one request;

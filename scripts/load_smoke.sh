@@ -1,0 +1,86 @@
+#!/bin/sh
+# load_smoke.sh boots lcrbd with tenant quotas and drives it with the
+# lcrbload open-loop generator:
+#
+#   1. the daemon comes up with -tenants gold:3,bronze:1,
+#   2. lcrbload fires a deterministic mixed-traffic schedule (two solve
+#      seeds, three algorithms, tenant-tagged arrivals) at a rate the tiny
+#      admission gate cannot absorb, so shedding and coalescing both fire,
+#   3. BENCH_serve.json lands at the repo root with the latency
+#      percentiles (p50/p99/p999) and the shed / quota-shed / degraded /
+#      coalesce-hit rates,
+#   4. SIGTERM drains: the daemon logs a clean drain and exits 0.
+#
+# Run via `make load-smoke`. Requires only a POSIX shell and the go
+# toolchain.
+set -eu
+
+out="${1:-BENCH_serve.json}"
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -KILL "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "load-smoke: FAIL: $*" >&2
+    echo "--- daemon stderr ---" >&2
+    cat "$workdir/stderr" >&2 || true
+    echo "--- lcrbload output ---" >&2
+    cat "$workdir/loadout" >&2 || true
+    exit 1
+}
+
+echo "load-smoke: building lcrbd and lcrbload"
+${GO:-go} build -o "$workdir/lcrbd" ./cmd/lcrbd
+${GO:-go} build -o "$workdir/lcrbload" ./cmd/lcrbload
+
+echo "load-smoke: booting lcrbd with tenant quotas on a random port"
+"$workdir/lcrbd" -addr 127.0.0.1:0 -port-file "$workdir/port" -scale 0.03 \
+    -deadline 8s -drain 20s -max-inflight 2 -max-waiting 4 \
+    -tenants gold:3,bronze:1 \
+    >"$workdir/stdout" 2>"$workdir/stderr" &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$workdir/port" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "port file never appeared"
+    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+port="$(cat "$workdir/port")"
+base="http://127.0.0.1:$port"
+echo "load-smoke: up on port $port"
+
+echo "load-smoke: open-loop mixed-tenant storm"
+"$workdir/lcrbload" -url "$base" -rate 30 -duration 6s -seed 1 \
+    -tenants gold:3,bronze:1 -solve-seeds 2 -samples 3 \
+    -request-timeout 400 -out "$out" >"$workdir/loadout" 2>&1 \
+    || fail "lcrbload exited nonzero"
+cat "$workdir/loadout"
+
+[ -s "$out" ] || fail "$out was not written"
+for key in p50Millis p99Millis p999Millis shed quotaShed degraded coalesceHit; do
+    grep -q "\"$key\"" "$out" || fail "$out missing $key"
+done
+
+echo "load-smoke: SIGTERM drain"
+kill -TERM "$daemon_pid"
+i=0
+while kill -0 "$daemon_pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && fail "daemon did not exit within 30s of SIGTERM"
+    sleep 0.1
+done
+rc=0
+wait "$daemon_pid" || rc=$?
+[ "$rc" = 0 ] || fail "daemon exited $rc after SIGTERM, want 0"
+grep -q "drained cleanly" "$workdir/stderr" || fail "missing clean-drain log"
+daemon_pid=""
+
+echo "load-smoke: PASS ($out)"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-fix ci bench bench-all serve serve-smoke sketch-smoke load-smoke clean
+.PHONY: all build vet test race lint lint-fix lint-bench ci bench bench-all serve serve-smoke sketch-smoke load-smoke clean
 
 all: ci
 
@@ -16,25 +16,40 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint gates on formatting, the standard vet passes, and the repo's custom
-# determinism analyzers (mapiter, rngsource, ctxpair, errfmt — see
-# cmd/lcrblint). lcrblint runs with -vet=false here because the full
-# `go vet` on the line above already covers the standard passes.
+# lint gates on formatting, the standard vet passes, the repo's custom
+# analyzers — the convention suite (mapiter, rngsource, ctxpair, errfmt)
+# and the CFG/dataflow concurrency suite (goroleak, lockguard, ctxflow,
+# detflow) — and the lint:ignore audit (every suppression must carry a
+# real reason and still suppress something). lcrblint runs with -vet=false
+# here because the full `go vet` on the line above already covers the
+# standard passes.
 lint:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/lcrblint -vet=false ./...
+	$(GO) run ./cmd/lcrblint -ignores ./...
 
 # lint-fix applies the analyzers' suggested rewrites (currently the mapiter
 # sorted-keys transform) in place, then reports what remains.
 lint-fix:
 	$(GO) run ./cmd/lcrblint -fix -vet=false ./...
 
-# ci is the gate the workflow runs: lint (fmt + vet + analyzers), build,
-# the full suite under the race detector, then the sketch, serving and
-# load smoke tests.
-ci: lint build race sketch-smoke serve-smoke load-smoke
+# lint-bench times the full 8-analyzer lcrblint run over the module and
+# fails over a 60s budget: the CFG/dataflow analyzers must stay cheap
+# enough to run on every push, or they will get turned off.
+lint-bench:
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/lcrblint -vet=false ./... >/dev/null || exit 1; \
+	end=$$(date +%s); elapsed=$$((end - start)); \
+	echo "lint-bench: lcrblint took $${elapsed}s (budget 60s)"; \
+	if [ "$$elapsed" -gt 60 ]; then \
+		echo "lint-bench: FAIL: over the 60s budget"; exit 1; fi
+
+# ci is the gate the workflow runs: lint (fmt + vet + analyzers +
+# suppression audit), the lint timing budget, build, the full suite under
+# the race detector, then the sketch, serving and load smoke tests.
+ci: lint lint-bench build race sketch-smoke serve-smoke load-smoke
 
 # sketch-smoke runs the fast RR-set sketch end-to-end check: build
 # bit-identity across worker counts, an α-achieving zero-simulation solve,

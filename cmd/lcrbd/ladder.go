@@ -230,6 +230,7 @@ func (s *server) runHeuristic(sel heuristic.Selector, inst *experiment.Instance,
 	if budget < 1 {
 		budget = 1
 	}
+	//lint:ignore ctxflow the bottom rung is deliberately uncancellable: bounded fast work that must still answer when the request deadline is already gone
 	return heuristic.SelectContext(context.Background(), sel, hctx, budget, rng.New(req.Seed+300))
 }
 

@@ -27,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -145,12 +146,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	soft := *drain - *drain/4
 	timer := time.AfterFunc(soft, s.hardStop)
 	defer timer.Stop()
+	//lint:ignore ctxflow ctx is already canceled once the drain starts; the shutdown window must outlive it or Shutdown would return immediately
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
 		srv.Close()
+		<-serveErr
 		s.stop()
 		return fmt.Errorf("drain: %w", err)
+	}
+	// Shutdown has returned, so Serve has too: join the serve goroutine and
+	// surface any real listener error that the drain path used to drop.
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		s.stop()
+		return fmt.Errorf("serve: %w", err)
 	}
 	s.stop()
 	logf("lcrbd: drained cleanly")

@@ -214,6 +214,7 @@ func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, ar
 		started:   time.Now(),
 		logf:      logf,
 		instances: make(map[instanceKey]*instanceEntry),
+		//lint:ignore ctxflow hardDrain is the daemon-lifetime drain scope; storing it once at construction is the design, per-request contexts still govern solves
 		hardDrain: hardDrain,
 		hardStop:  hardStop,
 	}
@@ -545,9 +546,11 @@ func (req *resolvedRequest) fingerprint() string {
 
 // instance returns the cached experiment instance for the request,
 // building it on first use behind the circuit breaker with a jittered
-// retry. The build deliberately ignores the request context: it is
+// retry. The build deliberately ignores the request context — it is
 // bounded work whose result every later request with the same key reuses,
-// so one impatient client should not poison the cache.
+// so one impatient client should not poison the cache — but it does run
+// under the daemon's hard-drain context, so a draining process abandons
+// the retry loop instead of holding Shutdown open.
 func (s *server) instance(req *resolvedRequest) (*experiment.Instance, error) {
 	key := instanceKey{
 		dataset:       req.Dataset,
@@ -570,7 +573,7 @@ func (s *server) instance(req *resolvedRequest) (*experiment.Instance, error) {
 			MaxDelay:  50 * time.Millisecond,
 			Seed:      req.Seed + 7,
 		}
-		entry.err = retry.Do(func(context.Context) error {
+		entry.err = retry.DoContext(s.hardDrain, func(context.Context) error {
 			if err := s.chaos.load.Check(); err != nil {
 				return err
 			}
@@ -610,7 +613,7 @@ func (s *server) instance(req *resolvedRequest) (*experiment.Instance, error) {
 // broken generator.
 func (s *server) problem(req *resolvedRequest) (*core.Problem, *experiment.Instance, error) {
 	var inst *experiment.Instance
-	err := s.breaker.Do(func(context.Context) error {
+	err := s.breaker.DoContext(s.hardDrain, func(context.Context) error {
 		var err error
 		inst, err = s.instance(req)
 		return err

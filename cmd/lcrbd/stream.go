@@ -126,6 +126,7 @@ func (e *eventSink) send(event string, payload any) {
 	if e.done {
 		return
 	}
+	//lint:ignore lockguard writing under e.mu is the point: SSE frames must serialize against hedge losers racing the terminal event
 	e.emit(event, payload)
 }
 
@@ -136,6 +137,7 @@ func (e *eventSink) terminal(event string, payload any) {
 	if e.done {
 		return
 	}
+	//lint:ignore lockguard the terminal frame must write-and-seal atomically under e.mu so no later round can slip out after it
 	e.emit(event, payload)
 	e.done = true
 }

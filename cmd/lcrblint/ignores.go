@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/checker"
+	"lcrb/internal/analysis/load"
+)
+
+// minReasonLen is the shortest suppression justification the audit
+// accepts. Ten characters is deliberately low — it rejects placeholder
+// reasons like "ok" or "todo" without demanding an essay.
+const minReasonLen = 10
+
+// auditIgnores lists every lint:ignore directive in the loaded non-test
+// files and validates it: names must resolve to suite analyzers (or
+// "all"), the reason must carry at least minReasonLen characters, and the
+// directive must have suppressed at least one diagnostic in this run
+// (otherwise it is stale — the code it excused has been fixed or deleted,
+// and keeping the directive would silently swallow future findings).
+// Returns the process exit code: 1 if any directive fails the audit.
+func auditIgnores(fset *token.FileSet, pkgs []*load.Package, detail *checker.Detail) int {
+	known := map[string]bool{"all": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	problems := 0
+	problemf := func(pos token.Position, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lcrblint: %s: %s\n", pos, fmt.Sprintf(format, args...))
+		problems++
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			if strings.HasSuffix(fset.Position(file.FileStart).Filename, "_test.go") {
+				continue
+			}
+			for _, ig := range analysis.Ignores(file) {
+				pos := fset.Position(ig.Pos)
+				total++
+				if len(ig.Names) == 0 {
+					problemf(pos, "lint:ignore directive has no analyzer names or reason")
+					continue
+				}
+				fmt.Printf("%s: %s: %s\n", pos, strings.Join(ig.Names, ","), ig.Reason)
+				for _, n := range ig.Names {
+					if !known[n] {
+						problemf(pos, "lint:ignore names unknown analyzer %q", n)
+					}
+				}
+				if len(ig.Reason) < minReasonLen {
+					problemf(pos, "lint:ignore reason %q is too short (%d chars, need at least %d)", ig.Reason, len(ig.Reason), minReasonLen)
+					continue
+				}
+				if !detail.Fired[pos] {
+					problemf(pos, "stale lint:ignore (%s): it suppresses no current diagnostic; remove it", strings.Join(ig.Names, ","))
+				}
+			}
+		}
+	}
+
+	fmt.Printf("lcrblint: %d suppression(s) audited, %d problem(s)\n", total, problems)
+	if problems > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,10 +1,12 @@
-// Command lcrblint runs the repo's custom determinism and convention
-// analyzers (mapiter, rngsource, ctxpair, errfmt) over the module,
-// alongside a selected set of standard go vet passes.
+// Command lcrblint runs the repo's custom analyzers over the module,
+// alongside a selected set of standard go vet passes. The suite has two
+// layers: the convention analyzers (mapiter, rngsource, ctxpair, errfmt)
+// and the CFG/dataflow-backed concurrency analyzers (goroleak, lockguard,
+// ctxflow, detflow).
 //
 // Usage:
 //
-//	lcrblint [-fix] [-vet=false] [packages]
+//	lcrblint [-fix] [-vet=false] [-sarif out.json] [-ignores] [packages]
 //
 // With no package patterns it checks ./... relative to the current
 // directory. Findings print as file:line:col: analyzer: message and make
@@ -16,6 +18,16 @@
 //
 // -fix applies each diagnostic's suggested fix (currently: the mapiter
 // sort-keys-before-range rewrite) and reformats the touched files.
+//
+// -sarif additionally writes the findings as a SARIF 2.1.0 log (always,
+// even when empty), for code-scanning upload; the plain-text output is
+// unchanged.
+//
+// -ignores switches to the suppression audit: every lint:ignore directive
+// in non-test files is listed with its position and reason, and the exit
+// code is 1 if any directive is malformed, names an unknown analyzer,
+// carries a reason shorter than 10 characters, or is stale (suppresses no
+// current diagnostic).
 package main
 
 import (
@@ -27,17 +39,25 @@ import (
 
 	"lcrb/internal/analysis"
 	"lcrb/internal/analysis/checker"
+	"lcrb/internal/analysis/ctxflow"
 	"lcrb/internal/analysis/ctxpair"
+	"lcrb/internal/analysis/detflow"
 	"lcrb/internal/analysis/errfmt"
+	"lcrb/internal/analysis/goroleak"
 	"lcrb/internal/analysis/load"
+	"lcrb/internal/analysis/lockguard"
 	"lcrb/internal/analysis/mapiter"
 	"lcrb/internal/analysis/rngsource"
 )
 
 // analyzers is the lcrblint suite, in stable name order.
 var analyzers = []*analysis.Analyzer{
+	ctxflow.Analyzer,
 	ctxpair.Analyzer,
+	detflow.Analyzer,
 	errfmt.Analyzer,
+	goroleak.Analyzer,
+	lockguard.Analyzer,
 	mapiter.Analyzer,
 	rngsource.Analyzer,
 }
@@ -58,8 +78,10 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("lcrblint", flag.ExitOnError)
 	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree")
 	vet := fs.Bool("vet", true, "also run the selected standard go vet passes")
+	sarifOut := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	ignores := fs.Bool("ignores", false, "audit lint:ignore directives instead of printing findings")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: lcrblint [-fix] [-vet=false] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: lcrblint [-fix] [-vet=false] [-sarif out.json] [-ignores] [packages]\n\nanalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -74,7 +96,7 @@ func run(args []string) int {
 	}
 
 	failed := false
-	if *vet {
+	if *vet && !*ignores {
 		if err := runVet(patterns); err != nil {
 			fmt.Fprintf(os.Stderr, "lcrblint: %v\n", err)
 			failed = true
@@ -87,10 +109,15 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "lcrblint: %v\n", err)
 		return 2
 	}
-	findings, err := checker.Run(fset, pkgs, analyzers)
+	detail, err := checker.RunDetailed(fset, pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lcrblint: %v\n", err)
 		return 2
+	}
+	findings := detail.Findings
+
+	if *ignores {
+		return auditIgnores(fset, pkgs, detail)
 	}
 
 	if *fix {
@@ -107,6 +134,13 @@ func run(args []string) int {
 			}
 		}
 		findings = remaining
+	}
+
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, analyzers, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "lcrblint: %v\n", err)
+			return 2
+		}
 	}
 
 	for _, f := range findings {

@@ -13,8 +13,13 @@ func TestRunCleanPackage(t *testing.T) {
 }
 
 // TestAnalyzerNamesUnique guards the suppression syntax: lint:ignore
-// directives address analyzers by name, so names must not collide.
+// directives address analyzers by name, so names must not collide. The
+// count pins the full suite — dropping an analyzer from the slice should
+// be a deliberate, test-visible act.
 func TestAnalyzerNamesUnique(t *testing.T) {
+	if len(analyzers) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8", len(analyzers))
+	}
 	seen := map[string]bool{}
 	for _, a := range analyzers {
 		if a.Name == "" || a.Doc == "" {

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/checker"
+)
+
+// SARIF 2.1.0 envelope, restricted to the fields code-scanning consumers
+// (GitHub's SARIF upload included) require. Output is deterministic:
+// rules follow the suite's stable name order and results inherit the
+// checker's position sort.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders findings as a SARIF 2.1.0 log at path. An empty
+// findings slice still produces a valid log with an empty results array,
+// so CI can upload unconditionally.
+func writeSARIF(path string, analyzers []*analysis.Analyzer, findings []checker.Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Diag.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: repoRelativeURI(f.Pos.Filename)},
+					Region: sarifRegion{
+						StartLine:   f.Pos.Line,
+						StartColumn: max(f.Pos.Column, 1),
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "lcrblint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sarif: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("sarif: %w", err)
+	}
+	return nil
+}
+
+// repoRelativeURI rewrites name relative to the working directory with
+// forward slashes, the form GitHub's SARIF ingestion maps onto the
+// checkout. Paths outside the working tree pass through unchanged.
+func repoRelativeURI(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return filepath.ToSlash(name)
+	}
+	rel, err := filepath.Rel(wd, name)
+	if err != nil || rel == ".." || filepath.IsAbs(rel) || len(rel) > 1 && rel[:2] == ".." {
+		return filepath.ToSlash(name)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -15,6 +15,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"lcrb/internal/analysis/dataflow"
 )
 
 // Analyzer describes one static check. Run is invoked once per loaded
@@ -39,6 +41,13 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers a diagnostic to the driver.
 	Report func(Diagnostic)
+	// Facts is this analyzer's cross-package summary store. The driver
+	// shares one store per analyzer across every package in the run and
+	// visits packages in dependency order, so facts exported while
+	// analyzing a package are visible to its importers (the go/analysis
+	// facts mechanism, keyed by (*types.Func).FullName()). May be nil when
+	// the driver does not support facts; analyzers must tolerate that.
+	Facts *dataflow.FactStore
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -84,10 +93,19 @@ const IgnoreDirective = "//lint:ignore"
 // Suppressed reports whether a diagnostic produced by the named analyzer at
 // pos is silenced by a lint:ignore directive in file.
 func Suppressed(fset *token.FileSet, file *ast.File, analyzer string, pos token.Pos) bool {
+	_, ok := SuppressingDirective(fset, file, analyzer, pos)
+	return ok
+}
+
+// SuppressingDirective returns the position of the lint:ignore directive
+// that silences a diagnostic from the named analyzer at pos, if one exists
+// in file. Drivers use the position to track which directives actually
+// fired, so the -ignores audit can flag stale suppressions.
+func SuppressingDirective(fset *token.FileSet, file *ast.File, analyzer string, pos token.Pos) (token.Pos, bool) {
 	line := fset.Position(pos).Line
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			names, ok := parseIgnore(c.Text)
+			names, _, ok := parseIgnore(c.Text)
 			if !ok {
 				continue
 			}
@@ -97,25 +115,61 @@ func Suppressed(fset *token.FileSet, file *ast.File, analyzer string, pos token.
 			}
 			for _, n := range names {
 				if n == "all" || n == analyzer {
-					return true
+					return c.Pos(), true
 				}
 			}
 		}
 	}
-	return false
+	return token.NoPos, false
 }
 
-// parseIgnore extracts the analyzer names of a well-formed ignore
-// directive. Directives without a reason are ignored (not honored), so a
-// bare "//lint:ignore mapiter" still fails the build.
-func parseIgnore(text string) ([]string, bool) {
-	rest, ok := strings.CutPrefix(text, IgnoreDirective)
-	if !ok {
-		return nil, false
+// Ignore describes one lint:ignore directive found in a file, well-formed
+// or not: Reason is empty when the directive lacks one (such directives
+// suppress nothing, and the -ignores audit flags them).
+type Ignore struct {
+	// Pos is the directive comment's position.
+	Pos token.Pos
+	// Names lists the analyzer names the directive targets ("all" included
+	// verbatim).
+	Names []string
+	// Reason is the free-text justification after the names; empty for
+	// malformed directives.
+	Reason string
+}
+
+// Ignores collects every lint:ignore directive in file, in source order.
+func Ignores(file *ast.File) []Ignore {
+	var out []Ignore
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				out = append(out, Ignore{Pos: c.Pos()})
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			reason := strings.TrimSpace(strings.Join(fields[1:], " "))
+			out = append(out, Ignore{Pos: c.Pos(), Names: names, Reason: reason})
+		}
+	}
+	return out
+}
+
+// parseIgnore extracts the analyzer names and reason of a well-formed
+// ignore directive. Directives without a reason are ignored (not honored),
+// so a bare "//lint:ignore mapiter" still fails the build.
+func parseIgnore(text string) (names []string, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, IgnoreDirective)
+	if !found {
+		return nil, "", false
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 2 { // names + at least one word of reason
-		return nil, false
+		return nil, "", false
 	}
-	return strings.Split(fields[0], ","), true
+	return strings.Split(fields[0], ","), strings.Join(fields[1:], " "), true
 }

@@ -24,15 +24,27 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"testing"
 
 	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/dataflow"
 )
+
+// TB is the subset of *testing.T this package needs, split out so the
+// package can test itself: meta-tests substitute a recorder and assert
+// that bad expectations really fail. Implementations must not return
+// normally from Fatalf or Fatal — *testing.T calls runtime.Goexit, and a
+// recorder must panic (the meta-tests recover).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+	Fatal(args ...any)
+}
 
 // Run loads the package under dir/src/<pkg>, applies a, and checks its
 // diagnostics against the `// want` comments. It returns the diagnostics
 // for further assertions.
-func Run(t *testing.T, dir, pkg string, a *analysis.Analyzer) []analysis.Diagnostic {
+func Run(t TB, dir, pkg string, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
 	fset, files, diags := runAnalyzer(t, dir, pkg, a)
 	checkExpectations(t, fset, files, *diags)
@@ -42,7 +54,7 @@ func Run(t *testing.T, dir, pkg string, a *analysis.Analyzer) []analysis.Diagnos
 // RunWithSuggestedFixes is Run, then additionally applies every suggested
 // fix in memory and compares each patched file against a sibling
 // <name>.golden file (required for every file a fix touches).
-func RunWithSuggestedFixes(t *testing.T, dir, pkg string, a *analysis.Analyzer) {
+func RunWithSuggestedFixes(t TB, dir, pkg string, a *analysis.Analyzer) {
 	t.Helper()
 	fset, files, diags := runAnalyzer(t, dir, pkg, a)
 	checkExpectations(t, fset, files, *diags)
@@ -67,7 +79,13 @@ func RunWithSuggestedFixes(t *testing.T, dir, pkg string, a *analysis.Analyzer) 
 	if len(perFile) == 0 {
 		t.Fatalf("analysistest: %s produced no suggested fixes", a.Name)
 	}
-	for name, edits := range perFile {
+	names := make([]string, 0, len(perFile))
+	for name := range perFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		edits := perFile[name]
 		src, err := os.ReadFile(name)
 		if err != nil {
 			t.Fatal(err)
@@ -97,7 +115,7 @@ func RunWithSuggestedFixes(t *testing.T, dir, pkg string, a *analysis.Analyzer) 
 // runAnalyzer type-checks the testdata package and runs the analyzer,
 // filtering diagnostics through lint:ignore suppression like the real
 // driver does.
-func runAnalyzer(t *testing.T, dir, pkg string, a *analysis.Analyzer) (*token.FileSet, []*ast.File, *[]analysis.Diagnostic) {
+func runAnalyzer(t TB, dir, pkg string, a *analysis.Analyzer) (*token.FileSet, []*ast.File, *[]analysis.Diagnostic) {
 	t.Helper()
 	pkgDir := filepath.Join(dir, "src", pkg)
 	entries, err := os.ReadDir(pkgDir)
@@ -141,6 +159,7 @@ func runAnalyzer(t *testing.T, dir, pkg string, a *analysis.Analyzer) (*token.Fi
 		Files:     files,
 		Pkg:       tpkg,
 		TypesInfo: info,
+		Facts:     dataflow.NewFactStore(),
 	}
 	pass.Report = func(d analysis.Diagnostic) {
 		for _, f := range files {
@@ -156,6 +175,14 @@ func runAnalyzer(t *testing.T, dir, pkg string, a *analysis.Analyzer) (*token.Fi
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("analysistest: %s: %v", a.Name, err)
 	}
+	// Order diagnostics by position then message so the reported sequence
+	// is deterministic even when an analyzer iterates a map internally.
+	sort.SliceStable(*diags, func(i, j int) bool {
+		if (*diags)[i].Pos != (*diags)[j].Pos {
+			return (*diags)[i].Pos < (*diags)[j].Pos
+		}
+		return (*diags)[i].Message < (*diags)[j].Message
+	})
 	return fset, files, diags
 }
 
@@ -170,7 +197,7 @@ type expectation struct {
 
 // checkExpectations matches diagnostics against the testdata's want
 // comments.
-func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+func checkExpectations(t TB, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
 	t.Helper()
 	var wants []*expectation
 	for _, f := range files {
@@ -218,7 +245,7 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 
 // splitQuoted parses the payload of a want comment: a sequence of Go
 // string literals (quoted or backquoted).
-func splitQuoted(t *testing.T, s string) []string {
+func splitQuoted(t TB, s string) []string {
 	t.Helper()
 	var out []string
 	s = strings.TrimSpace(s)

@@ -1,0 +1,233 @@
+// Meta-tests: the harness must itself be trustworthy. A want comment that
+// matches nothing has to fail, suggested fixes have to be idempotent
+// against their goldens, and diagnostic order has to be stable even when
+// an analyzer iterates a map internally.
+package analysistest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/analysistest"
+)
+
+// recorder satisfies analysistest.TB, capturing failures instead of
+// failing the real test. Fatalf/Fatal panic with fatalSentinel because
+// the contract forbids returning normally (the real *testing.T would
+// have called runtime.Goexit).
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+type fatalSentinel struct{}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+	panic(fatalSentinel{})
+}
+
+func (r *recorder) Fatal(args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprint(args...))
+	panic(fatalSentinel{})
+}
+
+// runRecorded runs fn, swallowing only the recorder's own fatal panic.
+func runRecorded(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(fatalSentinel); !ok {
+				panic(rec)
+			}
+		}
+	}()
+	fn()
+}
+
+// metaFix flags identifiers named "bad" and suggests renaming them to
+// "good" — the smallest analyzer with a mechanical fix.
+var metaFix = &analysis.Analyzer{
+	Name: "metafix",
+	Doc:  "flags identifiers named bad and renames them to good",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "bad" {
+					pass.Report(analysis.Diagnostic{
+						Pos:     id.Pos(),
+						Message: "bad name",
+						SuggestedFixes: []analysis.SuggestedFix{{
+							Message:   "rename to good",
+							TextEdits: []analysis.TextEdit{{Pos: id.Pos(), End: id.End(), NewText: []byte("good")}},
+						}},
+					})
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// write creates a file under dir, making parents.
+func write(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWrongWantFails: a want regexp that matches no diagnostic must fail
+// the run — once for the unmatched diagnostic and once for the unmet
+// expectation.
+func TestWrongWantFails(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "src/a/a.go", "package a\n\nvar bad = 1 // want `some other message`\n")
+	rec := &recorder{}
+	runRecorded(t, func() { analysistest.Run(rec, dir, "a", metaFix) })
+	if len(rec.fatals) != 0 {
+		t.Fatalf("unexpected fatal: %v", rec.fatals)
+	}
+	if len(rec.errors) != 2 {
+		t.Fatalf("got %d errors, want 2 (unexpected diagnostic + unmet expectation): %v", len(rec.errors), rec.errors)
+	}
+}
+
+// TestMissingWantFails: a diagnostic with no want comment at all must
+// fail the run.
+func TestMissingWantFails(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "src/a/a.go", "package a\n\nvar bad = 1\n")
+	rec := &recorder{}
+	runRecorded(t, func() { analysistest.Run(rec, dir, "a", metaFix) })
+	if len(rec.errors) != 1 {
+		t.Fatalf("got %d errors, want 1 (unexpected diagnostic): %v", len(rec.errors), rec.errors)
+	}
+}
+
+// TestCorrectWantPasses: the control — matching expectations record no
+// failures.
+func TestCorrectWantPasses(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "src/a/a.go", "package a\n\nvar bad = 1 // want `bad name`\n")
+	rec := &recorder{}
+	runRecorded(t, func() { analysistest.Run(rec, dir, "a", metaFix) })
+	if len(rec.errors) != 0 || len(rec.fatals) != 0 {
+		t.Fatalf("clean run recorded failures: errors=%v fatals=%v", rec.errors, rec.fatals)
+	}
+}
+
+// TestGoldenFixIdempotent: applying the suggested fix must reproduce the
+// golden, and running the analyzer over the golden must produce nothing —
+// i.e. the fix converges in one application.
+func TestGoldenFixIdempotent(t *testing.T) {
+	const (
+		src = "package a\n\nvar bad = 1 // want `bad name`\n"
+		// The golden keeps the want comment: fixes rewrite code, not
+		// expectations.
+		golden = "package a\n\nvar good = 1 // want `bad name`\n"
+		// The fixed point drops it: fixed code produces no diagnostics.
+		fixedPoint = "package a\n\nvar good = 1\n"
+	)
+	dir := t.TempDir()
+	write(t, dir, "src/a/a.go", src)
+	write(t, dir, "src/a/a.go.golden", golden)
+	rec := &recorder{}
+	runRecorded(t, func() { analysistest.RunWithSuggestedFixes(rec, dir, "a", metaFix) })
+	if len(rec.errors) != 0 || len(rec.fatals) != 0 {
+		t.Fatalf("fix run recorded failures: errors=%v fatals=%v", rec.errors, rec.fatals)
+	}
+
+	// Second application: the golden, used as input, must be a fixed point.
+	dir2 := t.TempDir()
+	write(t, dir2, "src/a/a.go", fixedPoint)
+	rec2 := &recorder{}
+	var diags []analysis.Diagnostic
+	runRecorded(t, func() { diags = analysistest.Run(rec2, dir2, "a", metaFix) })
+	if len(diags) != 0 || len(rec2.errors) != 0 {
+		t.Fatalf("golden is not a fixed point: diags=%v errors=%v", diags, rec2.errors)
+	}
+}
+
+// mapDiag reports every package-level var, deliberately iterating an
+// internal map so any ordering leak in the harness would surface.
+var mapDiag = &analysis.Analyzer{
+	Name: "mapdiag",
+	Doc:  "reports every package-level var, via a map iteration",
+	Run: func(pass *analysis.Pass) error {
+		found := map[string]*ast.Ident{}
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							found[name.Name] = name
+						}
+					}
+				}
+			}
+		}
+		for name, id := range found {
+			pass.Report(analysis.Diagnostic{Pos: id.Pos(), Message: "var " + name})
+		}
+		return nil
+	},
+}
+
+// TestDeterministicDiagnosticOrder: two runs of a map-iterating analyzer
+// must yield the same diagnostic sequence, sorted by position then
+// message.
+func TestDeterministicDiagnosticOrder(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "src/a/a.go",
+		"package a\n\nvar e, d, c, b, a = 1, 2, 3, 4, 5 // want `var e` `var d` `var c` `var b` `var a`\n")
+	var first []string
+	for run := 0; run < 2; run++ {
+		rec := &recorder{}
+		var diags []analysis.Diagnostic
+		runRecorded(t, func() { diags = analysistest.Run(rec, dir, "a", mapDiag) })
+		if len(rec.errors) != 0 || len(rec.fatals) != 0 {
+			t.Fatalf("run %d recorded failures: errors=%v fatals=%v", run, rec.errors, rec.fatals)
+		}
+		got := make([]string, len(diags))
+		for i, d := range diags {
+			got[i] = d.Message
+		}
+		for i := 1; i < len(diags); i++ {
+			if diags[i-1].Pos > diags[i].Pos {
+				t.Fatalf("run %d: diagnostics out of position order: %v", run, got)
+			}
+		}
+		if run == 0 {
+			first = got
+			continue
+		}
+		if len(got) != len(first) {
+			t.Fatalf("run lengths differ: %v vs %v", first, got)
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("diagnostic order differs between runs:\nfirst:  %v\nsecond: %v", first, got)
+			}
+		}
+	}
+}

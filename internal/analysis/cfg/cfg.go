@@ -1,0 +1,488 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies, the substrate for the dataflow analyses in
+// internal/analysis/dataflow and the concurrency analyzers built on them.
+//
+// A CFG is a list of basic blocks. Each block holds the statements and
+// control expressions that execute straight-line, in order, and edges to
+// its successors. Structured control flow (if/for/range/switch/select),
+// labeled break/continue, goto and fallthrough are all lowered to edges; a
+// return statement (or a direct call to panic, os.Exit or runtime.Goexit)
+// gets an edge to the distinguished Exit block.
+//
+// Three wrapper node types stand in for statements whose AST form nests
+// sub-statements that live in other blocks: RangeHead (the per-iteration
+// loop head of a range statement, without its body), SelectHead (the
+// blocking point of a select, without its clauses) and CommHead (one
+// select clause's communication, without the clause body). Analyses that
+// walk Block.Nodes must treat these wrappers — and must prune *ast.FuncLit
+// subtrees, whose statements execute on some other activation, not on this
+// function's paths.
+//
+// Defer statements appear both as ordinary nodes (their registration
+// point) and in CFG.Defers (for analyses that model the deferred calls
+// running at function exit). The graph does not add per-call panic edges:
+// an analysis that needs "any call may panic" precision must model it
+// itself — see DESIGN.md §12 for the soundness trade-offs.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every basic block in deterministic creation order;
+	// Blocks[0] is Entry and Blocks[1] is Exit.
+	Blocks []*Block
+	// Entry is where execution starts; it has no predecessors (unless a
+	// label at the top of the function is the target of a back goto).
+	Entry *Block
+	// Exit is the single synthetic exit; every return, panic and
+	// fall-off-the-end path reaches it.
+	Exit *Block
+	// Defers lists the function's defer statements in registration order.
+	// The deferred calls run at Exit, in reverse order, on the paths that
+	// executed the registration.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block: straight-line nodes plus control-flow edges.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes holds the block's statements and control expressions in
+	// execution order. Entries are ordinary ast.Stmt/ast.Expr values or
+	// the RangeHead/SelectHead/CommHead wrappers.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs []*Block
+	Preds []*Block
+}
+
+// RangeHead marks the loop-head step of a range statement: X is evaluated
+// once, and the key/value variables are (re)assigned before each
+// iteration. The loop body's statements live in their own blocks.
+type RangeHead struct{ Range *ast.RangeStmt }
+
+// Pos implements ast.Node.
+func (h *RangeHead) Pos() token.Pos { return h.Range.Pos() }
+
+// End implements ast.Node.
+func (h *RangeHead) End() token.Pos { return h.Range.X.End() }
+
+// SelectHead marks the blocking point of a select statement. The
+// communication of each clause is a CommHead in that clause's block.
+type SelectHead struct{ Select *ast.SelectStmt }
+
+// Pos implements ast.Node.
+func (h *SelectHead) Pos() token.Pos { return h.Select.Pos() }
+
+// End implements ast.Node.
+func (h *SelectHead) End() token.Pos { return h.Select.Select + token.Pos(len("select")) }
+
+// Blocking reports whether the select has no default clause, i.e. whether
+// reaching it blocks until some communication is ready.
+func (h *SelectHead) Blocking() bool {
+	for _, clause := range h.Select.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// CommHead marks one select clause's communication operation (nil for the
+// default clause). The clause body's statements follow as ordinary nodes.
+type CommHead struct{ Clause *ast.CommClause }
+
+// Pos implements ast.Node.
+func (h *CommHead) Pos() token.Pos { return h.Clause.Pos() }
+
+// End implements ast.Node.
+func (h *CommHead) End() token.Pos {
+	if h.Clause.Comm != nil {
+		return h.Clause.Comm.End()
+	}
+	return h.Clause.Colon
+}
+
+// New builds the CFG of one function body (a FuncDecl.Body or
+// FuncLit.Body). The body is not modified.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		c:      &CFG{},
+		labels: map[string]*Block{},
+	}
+	b.c.Entry = b.newBlock()
+	b.c.Exit = b.newBlock()
+	b.cur = b.c.Entry
+	b.stmt(body)
+	if b.cur != nil {
+		b.edge(b.cur, b.c.Exit)
+	}
+	for _, blk := range b.c.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.c
+}
+
+// branchTarget records where break and continue jump for one enclosing
+// breakable statement. continueTo is nil for switch and select.
+type branchTarget struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+type builder struct {
+	c       *CFG
+	cur     *Block // nil while the current point is unreachable
+	targets []branchTarget
+	labels  map[string]*Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.c.Blocks)}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// ensure returns the current block, starting a fresh (unreachable) one
+// after a terminator so later statements still have a home.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// jump moves the current point to blk, adding a fall-through edge when the
+// current point is reachable.
+func (b *builder) jump(blk *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+}
+
+// labelBlock returns (creating on first use) the block a label names, so
+// forward gotos can target labels not yet visited.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// findTarget resolves a break or continue: the innermost target when label
+// is empty, the labeled one otherwise.
+func (b *builder) findTarget(label string, wantContinue bool) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if label != "" && t.label != label {
+			continue
+		}
+		if wantContinue {
+			if t.continueTo == nil {
+				continue
+			}
+			return t.continueTo
+		}
+		return t.breakTo
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		b.jump(b.labelBlock(s.Label.Name))
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt:
+			b.forStmt(inner, s.Label.Name)
+		case *ast.RangeStmt:
+			b.rangeStmt(inner, s.Label.Name)
+		case *ast.SwitchStmt:
+			b.switchStmt(inner.Init, inner.Tag, nil, inner.Body, s.Label.Name)
+		case *ast.TypeSwitchStmt:
+			b.switchStmt(inner.Init, nil, inner.Assign, inner.Body, s.Label.Name)
+		case *ast.SelectStmt:
+			b.selectStmt(inner, s.Label.Name)
+		default:
+			b.stmt(inner)
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.c.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			b.add(s)
+			if to := b.findTarget(label, s.Tok == token.CONTINUE); to != nil {
+				b.edge(b.cur, to)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.add(s)
+			b.edge(b.cur, b.labelBlock(s.Label.Name))
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// The switch builder wires the edge to the next clause.
+			b.add(s)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		var els *Block
+		if s.Else != nil {
+			els = b.newBlock()
+			b.edge(cond, els)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = then
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, "")
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.DeferStmt:
+		b.c.Defers = append(b.c.Defers, s)
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatingCall(s.X) {
+			b.edge(b.cur, b.c.Exit)
+			b.cur = nil
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements.
+		b.add(s)
+	}
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	cond := b.newBlock()
+	b.jump(cond)
+	if s.Cond != nil {
+		cond.Nodes = append(cond.Nodes, s.Cond)
+	}
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(cond, body)
+	if s.Cond != nil {
+		b.edge(cond, after)
+	}
+	continueTo := cond
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		continueTo = post
+	}
+	b.targets = append(b.targets, branchTarget{label, after, continueTo})
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, continueTo)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		if b.cur != nil {
+			b.edge(b.cur, cond)
+		}
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	b.jump(head)
+	head.Nodes = append(head.Nodes, &RangeHead{s})
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.targets = append(b.targets, branchTarget{label, after, head})
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// switchStmt lowers both expression and type switches: tag holds the
+// switch expression (nil for type switches), assign the x := y.(type)
+// statement (nil for expression switches).
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.ensure()
+	after := b.newBlock()
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, clause := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc, ok := clause.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.targets = append(b.targets, branchTarget{label, after, nil})
+	for i, clause := range clauses {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		if b.cur != nil {
+			if endsWithFallthrough(cc.Body) && i+1 < len(blocks) {
+				b.edge(b.cur, blocks[i+1])
+			} else {
+				b.edge(b.cur, after)
+			}
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.ensure()
+	head.Nodes = append(head.Nodes, &SelectHead{s})
+	after := b.newBlock()
+	b.targets = append(b.targets, branchTarget{label, after, nil})
+	for _, clause := range s.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		blk.Nodes = append(blk.Nodes, &CommHead{cc})
+		b.cur = blk
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// endsWithFallthrough reports whether a case body's last statement is
+// fallthrough (possibly labeled).
+func endsWithFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	last := body[len(body)-1]
+	for {
+		ls, ok := last.(*ast.LabeledStmt)
+		if !ok {
+			break
+		}
+		last = ls.Stmt
+	}
+	br, ok := last.(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isTerminatingCall reports whether expr is a direct call that never
+// returns: panic(...), os.Exit(...), runtime.Goexit(). The check is
+// syntactic; shadowing these names defeats it (documented unsoundness).
+func isTerminatingCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		}
+	}
+	return false
+}

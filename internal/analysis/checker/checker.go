@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/dataflow"
 	"lcrb/internal/analysis/load"
 )
 
@@ -28,11 +29,37 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Diag.Message)
 }
 
+// Detail is the full outcome of a checker run: the surviving findings plus
+// the positions of every lint:ignore directive that actually silenced a
+// diagnostic (the -ignores audit uses this to detect stale suppressions).
+type Detail struct {
+	Findings []Finding
+	// Fired maps the source position of each lint:ignore directive that
+	// suppressed at least one diagnostic to true.
+	Fired map[token.Position]bool
+}
+
 // Run executes every analyzer on every package and returns the surviving
 // (non-suppressed) findings sorted by position then analyzer name.
 func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
+	detail, err := RunDetailed(fset, pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return detail.Findings, nil
+}
+
+// RunDetailed is Run plus suppression bookkeeping. Packages are visited in
+// dependency order (imports before importers) and each analyzer keeps one
+// fact store across the whole run, so summaries exported for a function in
+// a dependency are importable while analyzing its callers.
+func RunDetailed(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) (*Detail, error) {
+	detail := &Detail{Fired: map[token.Position]bool{}}
+	facts := make(map[*analysis.Analyzer]*dataflow.FactStore, len(analyzers))
+	for _, a := range analyzers {
+		facts[a] = dataflow.NewFactStore()
+	}
+	for _, pkg := range depOrder(pkgs) {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -40,13 +67,16 @@ func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyz
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts[a],
 			}
 			pass.Report = func(d analysis.Diagnostic) {
-				if file := enclosingFile(pkg.Files, d.Pos); file != nil &&
-					analysis.Suppressed(fset, file, a.Name, d.Pos) {
-					return
+				if file := enclosingFile(pkg.Files, d.Pos); file != nil {
+					if dirPos, ok := analysis.SuppressingDirective(fset, file, a.Name, d.Pos); ok {
+						detail.Fired[fset.Position(dirPos)] = true
+						return
+					}
 				}
-				findings = append(findings, Finding{
+				detail.Findings = append(detail.Findings, Finding{
 					Analyzer: a.Name,
 					PkgPath:  pkg.PkgPath,
 					Pos:      fset.Position(d.Pos),
@@ -58,8 +88,8 @@ func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyz
 			}
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		pi, pj := findings[i].Pos, findings[j].Pos
+	sort.Slice(detail.Findings, func(i, j int) bool {
+		pi, pj := detail.Findings[i].Pos, detail.Findings[j].Pos
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -69,9 +99,41 @@ func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyz
 		if pi.Column != pj.Column {
 			return pi.Column < pj.Column
 		}
-		return findings[i].Analyzer < findings[j].Analyzer
+		return detail.Findings[i].Analyzer < detail.Findings[j].Analyzer
 	})
-	return findings, nil
+	return detail, nil
+}
+
+// depOrder sorts packages so every package follows the targets it imports
+// (build imports only), matching the order fact-exporting analyzers need.
+// The input order (load.Load returns PkgPath-sorted packages) breaks ties,
+// so the result is deterministic.
+func depOrder(pkgs []*load.Package) []*load.Package {
+	byPath := make(map[string]*load.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	out := make([]*load.Package, 0, len(pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		switch state[p.PkgPath] {
+		case 1, 2:
+			return
+		}
+		state[p.PkgPath] = 1
+		for _, dep := range p.Imports() {
+			if d, ok := byPath[dep]; ok {
+				visit(d)
+			}
+		}
+		state[p.PkgPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // enclosingFile returns the syntax file containing pos, if any.

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"lcrb/internal/analysis/analysistest"
+	"lcrb/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", ctxflow.Analyzer)
+}

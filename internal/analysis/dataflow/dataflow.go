@@ -1,0 +1,184 @@
+// Package dataflow provides a fixed-point solver for forward and backward
+// dataflow problems over the control-flow graphs of internal/analysis/cfg,
+// plus a cross-function fact store analyzers use to export summaries (the
+// way go/analysis facts work) so intraprocedural analyses can consult
+// callee behavior computed earlier in dependency order.
+//
+// A Problem supplies the lattice operations (Join, Equal), the boundary
+// fact for the entry (forward) or exit (backward) block, and a Transfer
+// function mapping a block's input fact to its output fact. Solve iterates
+// round-robin over the blocks in index order until no fact changes, which
+// makes the fixpoint — and therefore every diagnostic derived from it —
+// deterministic across runs. Facts are opaque `any` values; nil marks an
+// unreachable block, and Transfer is never called with a nil input.
+//
+// Transfer MUST be pure with respect to reporting: it runs an unbounded
+// number of times per block during iteration. Analyzers solve first, then
+// make one reporting pass over the stable Result.
+package dataflow
+
+import (
+	"sort"
+
+	"lcrb/internal/analysis/cfg"
+)
+
+// Direction selects forward (facts flow entry→exit along edges) or
+// backward (exit→entry against edges) propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Fact is one lattice element. Implementations are immutable values:
+// Transfer and Join return new facts, never mutate their arguments.
+type Fact = any
+
+// Problem describes one dataflow analysis instance over a single CFG.
+type Problem struct {
+	Graph *cfg.CFG
+	Dir   Direction
+
+	// Boundary is the fact entering the entry block (Forward) or leaving
+	// the exit block (Backward). It must be non-nil.
+	Boundary Fact
+
+	// Join combines two non-nil facts at a control-flow merge.
+	Join func(a, b Fact) Fact
+
+	// Equal reports whether two non-nil facts are the same lattice
+	// element; it decides termination, so it must be reflexive and
+	// consistent with Join (Join(a,a) must Equal a).
+	Equal func(a, b Fact) bool
+
+	// Transfer maps a block's input fact to its output fact. The input is
+	// never nil. It must not report diagnostics (it re-runs at every
+	// iteration) and must not mutate in.
+	Transfer func(b *cfg.Block, in Fact) Fact
+}
+
+// Result holds the fixpoint: the fact at each block's input and output
+// edge. Blocks never reached from the boundary have nil entries.
+type Result struct {
+	In  map[*cfg.Block]Fact
+	Out map[*cfg.Block]Fact
+}
+
+// Solve runs the worklist iteration to fixpoint and returns the stable
+// per-block facts. Iteration visits blocks in index order (reverse index
+// order for backward problems) repeatedly until a full pass changes
+// nothing, so the result is independent of map iteration or scheduling.
+func Solve(p *Problem) *Result {
+	res := &Result{
+		In:  make(map[*cfg.Block]Fact, len(p.Graph.Blocks)),
+		Out: make(map[*cfg.Block]Fact, len(p.Graph.Blocks)),
+	}
+	if p.Graph == nil || len(p.Graph.Blocks) == 0 {
+		return res
+	}
+
+	boundary := p.Graph.Entry
+	if p.Dir == Backward {
+		boundary = p.Graph.Exit
+	}
+
+	// edgesIn returns the blocks whose facts feed b.
+	edgesIn := func(b *cfg.Block) []*cfg.Block {
+		if p.Dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+
+	order := make([]*cfg.Block, len(p.Graph.Blocks))
+	copy(order, p.Graph.Blocks)
+	if p.Dir == Backward {
+		sort.Slice(order, func(i, j int) bool { return order[i].Index > order[j].Index })
+	}
+
+	for {
+		changed := false
+		for _, b := range order {
+			// Compute the input fact: boundary for the boundary block,
+			// joined over incoming edges otherwise.
+			var in Fact
+			if b == boundary {
+				in = p.Boundary
+			}
+			for _, src := range edgesIn(b) {
+				out := res.Out[src]
+				if out == nil {
+					continue
+				}
+				if in == nil {
+					in = out
+				} else {
+					in = p.Join(in, out)
+				}
+			}
+			if in == nil {
+				continue // unreachable so far
+			}
+			old := res.In[b]
+			if old == nil || !p.Equal(old, in) {
+				res.In[b] = in
+				out := p.Transfer(b, in)
+				oldOut := res.Out[b]
+				if oldOut == nil || !p.Equal(oldOut, out) {
+					res.Out[b] = out
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return res
+		}
+	}
+}
+
+// FactStore carries per-function summaries across packages analyzed in
+// dependency order. Keys are (*types.Func).FullName() strings — stable,
+// package-qualified — and values are analyzer-defined summary types. A
+// checker creates one store per analyzer and shares it across every
+// package in the run, so facts exported while analyzing lcrb/internal/x
+// are visible when analyzing its importers.
+//
+// FactStore is not safe for concurrent use; the checker runs packages
+// sequentially (dependency order requires it anyway).
+type FactStore struct {
+	facts map[string]any
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[string]any)}
+}
+
+// ExportFact records a summary for the function named by key (use
+// (*types.Func).FullName()). A second export for the same key overwrites
+// the first.
+func (s *FactStore) ExportFact(key string, fact any) {
+	if s == nil {
+		return
+	}
+	s.facts[key] = fact
+}
+
+// ImportFact returns the summary exported for key, or nil, false.
+func (s *FactStore) ImportFact(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	f, ok := s.facts[key]
+	return f, ok
+}
+
+// Len reports how many facts the store holds (for tests and diagnostics).
+func (s *FactStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.facts)
+}

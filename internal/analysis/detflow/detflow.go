@@ -1,0 +1,573 @@
+// Package detflow is the interprocedural upgrade of mapiter: a
+// flow-sensitive taint analysis that keeps nondeterminism out of the
+// repo's results. Taint enters at map iteration order (the range key and
+// value variables), wall-clock reads (time.Now), and math/rand calls —
+// the blessed lcrb/internal/rng package is seeded and deterministic, so
+// it is not a source. Taint propagates through assignments, operators and
+// calls (any tainted argument or receiver taints the result), and is
+// removed by the idioms that restore determinism: time.Since / Time.Sub
+// (durations are measurements, not decisions), and the sort/slices
+// sorting functions, which canonicalize whatever order the map handed
+// out.
+//
+// A diagnostic fires when a tainted value reaches a determinism-critical
+// sink: a GreedyResult composite literal, anything named like a
+// fingerprint (field assignments or function arguments), or the payload
+// of an os.WriteFile call whose constant filename contains "BENCH_".
+//
+// Per function, the analysis solves a forward dataflow problem over the
+// CFG whose facts are sets of tainted objects; per package, it iterates
+// function summaries ("returns a tainted value") to a fixpoint and
+// exports them as cross-function facts, so a helper that leaks map order
+// through its return value taints its callers — including callers in
+// importing packages, via the checker's dependency-ordered fact store.
+//
+// Function literals are analyzed as separate functions with a clean
+// boundary; taint does not follow captured variables into or out of
+// closures, struct fields, or channels (documented unsoundness,
+// DESIGN.md §12). Test files are exempt.
+package detflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/cfg"
+	"lcrb/internal/analysis/dataflow"
+)
+
+// Analyzer is the detflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc:  "forbid map-order, wall-clock, and math/rand taint from reaching results, fingerprints, or BENCH_ outputs",
+	Run:  run,
+}
+
+// Summary is the cross-function fact detflow exports per function.
+type Summary struct {
+	// TaintedResults reports that some return path yields a value
+	// influenced by a nondeterminism source.
+	TaintedResults bool
+}
+
+// taintFact is the set of tainted objects on a path. Facts are immutable:
+// transfer copies before writing.
+type taintFact map[types.Object]bool
+
+func run(pass *analysis.Pass) error {
+	a := &analyzer{pass: pass, summaries: map[*types.Func]bool{}}
+
+	var decls []*ast.FuncDecl
+	fns := map[*ast.FuncDecl]*types.Func{}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func); ok {
+					decls = append(decls, fd)
+					fns[fd] = fn
+				}
+			}
+		}
+	}
+
+	// Phase 1: iterate return-taint summaries to a fixpoint. Summaries
+	// only flip false→true, so the loop terminates after at most
+	// len(decls) rounds.
+	for {
+		changed := false
+		for _, fd := range decls {
+			if a.summaries[fns[fd]] {
+				continue
+			}
+			if a.solve(fd.Body, nil) {
+				a.summaries[fns[fd]] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if pass.Facts != nil {
+		for fn, tainted := range a.summaries {
+			pass.Facts.ExportFact(fn.FullName(), Summary{TaintedResults: tainted})
+		}
+	}
+
+	// Phase 2: report sinks, with function literals analyzed as functions
+	// of their own.
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.solve(n.Body, pass.Report)
+				}
+			case *ast.FuncLit:
+				a.solve(n.Body, pass.Report)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type analyzer struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func]bool
+}
+
+// solve runs the taint problem over one body. It returns whether any
+// return statement yields a tainted value; when report is non-nil it also
+// emits sink diagnostics (the reporting pass re-runs each block's
+// transfer from its stable input, so diagnostics appear exactly once).
+func (a *analyzer) solve(body *ast.BlockStmt, report func(analysis.Diagnostic)) bool {
+	graph := cfg.New(body)
+	prob := &dataflow.Problem{
+		Graph:    graph,
+		Dir:      dataflow.Forward,
+		Boundary: taintFact{},
+		Join: func(x, y dataflow.Fact) dataflow.Fact {
+			fx, fy := x.(taintFact), y.(taintFact)
+			out := make(taintFact, len(fx)+len(fy))
+			for k := range fx {
+				out[k] = true
+			}
+			for k := range fy {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(x, y dataflow.Fact) bool {
+			fx, fy := x.(taintFact), y.(taintFact)
+			if len(fx) != len(fy) {
+				return false
+			}
+			for k := range fx {
+				if !fy[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(blk *cfg.Block, in dataflow.Fact) dataflow.Fact {
+			f, _ := a.transferBlock(blk, in.(taintFact), nil)
+			return f
+		},
+	}
+	res := dataflow.Solve(prob)
+
+	returnsTainted := false
+	for _, blk := range graph.Blocks {
+		in := res.In[blk]
+		if in == nil {
+			continue
+		}
+		_, rt := a.transferBlock(blk, in.(taintFact), report)
+		returnsTainted = returnsTainted || rt
+	}
+	return returnsTainted
+}
+
+// transferBlock applies one block's statements to the incoming taint set.
+// When report is non-nil, sink diagnostics are emitted. The second result
+// reports whether a return statement in this block yields a tainted
+// value.
+func (a *analyzer) transferBlock(blk *cfg.Block, in taintFact, report func(analysis.Diagnostic)) (taintFact, bool) {
+	cur := in
+	cloned := false
+	set := func(obj types.Object, tainted bool) {
+		if obj == nil {
+			return
+		}
+		if cur[obj] == tainted {
+			return
+		}
+		if !cloned {
+			next := make(taintFact, len(cur)+1)
+			for k := range cur {
+				next[k] = true
+			}
+			cur, cloned = next, true
+		}
+		if tainted {
+			cur[obj] = true
+		} else {
+			delete(cur, obj)
+		}
+	}
+	returnsTainted := false
+
+	for _, node := range blk.Nodes {
+		switch n := node.(type) {
+		case *cfg.RangeHead:
+			// Map iteration order is a source; ranging over an
+			// already-tainted sequence propagates.
+			if isMapExpr(a.pass, n.Range.X) || a.exprTainted(n.Range.X, cur) {
+				if n.Range.Key != nil {
+					set(a.identObj(n.Range.Key), true)
+				}
+				if n.Range.Value != nil {
+					set(a.identObj(n.Range.Value), true)
+				}
+			}
+			continue
+		case *cfg.SelectHead, *cfg.CommHead:
+			continue
+		case *ast.DeferStmt, *ast.GoStmt:
+			continue
+		}
+
+		// Sinks are checked against the state before this node's updates.
+		if report != nil {
+			a.checkSinks(node, cur, report)
+		}
+
+		switch n := node.(type) {
+		case *ast.AssignStmt:
+			a.applyAssign(n, cur, set)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							set(a.identObj(name), a.exprTainted(vs.Values[i], cur))
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if a.exprTainted(r, cur) {
+					returnsTainted = true
+				}
+			}
+		}
+
+		// Sorting canonicalizes its argument in place: untaint the root
+		// identifiers handed to a sort call, wherever it appears.
+		scanPruned(node, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !a.isSortMutator(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					set(a.identObj(id), false)
+				}
+			}
+			return true
+		})
+	}
+	return cur, returnsTainted
+}
+
+// applyAssign updates taint for one assignment, with strong updates for
+// plain identifier targets. Field and index stores are dropped (taint
+// does not follow heap structure; documented unsoundness).
+func (a *analyzer) applyAssign(assign *ast.AssignStmt, cur taintFact, set func(types.Object, bool)) {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		// x, y := f() — one source taints every target.
+		tainted := a.exprTainted(assign.Rhs[0], cur)
+		for _, lhs := range assign.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				set(a.identObj(id), tainted)
+			}
+		}
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if i >= len(assign.Rhs) {
+			break
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		tainted := a.exprTainted(assign.Rhs[i], cur)
+		if assign.Tok == token.ADD_ASSIGN || assign.Tok == token.SUB_ASSIGN ||
+			assign.Tok == token.MUL_ASSIGN || assign.Tok == token.QUO_ASSIGN {
+			// x += tainted keeps x tainted if either side is.
+			tainted = tainted || cur[a.identObj(id)]
+		}
+		set(a.identObj(id), tainted)
+	}
+}
+
+// checkSinks scans one CFG node for determinism-critical sinks reached by
+// tainted values.
+func (a *analyzer) checkSinks(node ast.Node, cur taintFact, report func(analysis.Diagnostic)) {
+	reportf := func(pos token.Pos, format string, args ...any) {
+		report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	scanPruned(node, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CompositeLit:
+			if !isNamedType(a.pass, m, "GreedyResult") {
+				return true
+			}
+			for _, elt := range m.Elts {
+				value := elt
+				field := "(positional)"
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					value = kv.Value
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						field = id.Name
+					}
+				}
+				if a.exprTainted(value, cur) {
+					reportf(value.Pos(), "nondeterministic value (map order, wall clock, or math/rand) flows into GreedyResult field %s; sort or derive it via internal/rng first", field)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				if i >= len(m.Rhs) {
+					break
+				}
+				name := types.ExprString(lhs)
+				if !strings.Contains(strings.ToLower(name), "fingerprint") {
+					continue
+				}
+				if a.exprTainted(m.Rhs[i], cur) {
+					reportf(m.Pos(), "nondeterministic value (map order, wall clock, or math/rand) flows into fingerprint %s; canonicalize the input first", name)
+				}
+			}
+		case *ast.CallExpr:
+			fn := a.calleeFunc(m)
+			if fn == nil {
+				return true
+			}
+			if strings.Contains(fn.Name(), "Fingerprint") {
+				for _, arg := range m.Args {
+					if a.exprTainted(arg, cur) {
+						reportf(m.Pos(), "nondeterministic value (map order, wall clock, or math/rand) flows into %s; canonicalize the input first", fn.Name())
+						break
+					}
+				}
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "WriteFile" && len(m.Args) >= 2 {
+				if cv := a.pass.TypesInfo.Types[m.Args[0]].Value; cv != nil && strings.Contains(cv.String(), "BENCH_") {
+					if a.exprTainted(m.Args[1], cur) {
+						reportf(m.Pos(), "nondeterministic value (map order, wall clock, or math/rand) flows into a BENCH_ file write; benchmarks must be replayable")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprTainted reports whether evaluating e yields a tainted value under
+// the current fact. Calls are boundaries: sanitizers scrub regardless of
+// their arguments, sources taint regardless of theirs.
+func (a *analyzer) exprTainted(e ast.Expr, cur taintFact) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := a.identObj(e)
+		return obj != nil && cur[obj]
+	case *ast.CallExpr:
+		if a.isSanitizer(e) {
+			return false
+		}
+		if a.isSource(e) {
+			return true
+		}
+		if fn := a.calleeFunc(e); fn != nil {
+			if a.summaries[fn] {
+				return true
+			}
+			if a.pass.Facts != nil {
+				if f, ok := a.pass.Facts.ImportFact(fn.FullName()); ok {
+					if s, ok := f.(Summary); ok && s.TaintedResults {
+						return true
+					}
+				}
+			}
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && a.exprTainted(sel.X, cur) {
+			return true
+		}
+		for _, arg := range e.Args {
+			if a.exprTainted(arg, cur) {
+				return true
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		return a.exprTainted(e.X, cur) || a.exprTainted(e.Y, cur)
+	case *ast.UnaryExpr:
+		return a.exprTainted(e.X, cur)
+	case *ast.ParenExpr:
+		return a.exprTainted(e.X, cur)
+	case *ast.StarExpr:
+		return a.exprTainted(e.X, cur)
+	case *ast.SelectorExpr:
+		return a.exprTainted(e.X, cur)
+	case *ast.IndexExpr:
+		return a.exprTainted(e.X, cur) || a.exprTainted(e.Index, cur)
+	case *ast.SliceExpr:
+		if a.exprTainted(e.X, cur) {
+			return true
+		}
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil && a.exprTainted(b, cur) {
+				return true
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if a.exprTainted(elt, cur) {
+				return true
+			}
+		}
+		return false
+	case *ast.KeyValueExpr:
+		return a.exprTainted(e.Value, cur)
+	case *ast.TypeAssertExpr:
+		return a.exprTainted(e.X, cur)
+	default:
+		return false
+	}
+}
+
+// isSource matches time.Now() and anything from math/rand or
+// math/rand/v2. lcrb/internal/rng is seeded and deterministic, so it is
+// deliberately not a source.
+func (a *analyzer) isSource(call *ast.CallExpr) bool {
+	fn := a.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "time" && fn.Name() == "Now":
+		return true
+	case pkg == "math/rand" || pkg == "math/rand/v2":
+		return true
+	}
+	return false
+}
+
+// isSanitizer matches the determinism-restoring calls: time.Since,
+// Time.Sub, and the slices package's sorted constructors (sorting-in-place
+// functions are handled as statement-level mutators).
+func (a *analyzer) isSanitizer(call *ast.CallExpr) bool {
+	fn := a.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "time" && fn.Name() == "Since":
+		return true
+	case pkg == "time" && fn.Name() == "Sub":
+		return true
+	case pkg == "slices" && strings.HasPrefix(fn.Name(), "Sorted"):
+		return true
+	}
+	return false
+}
+
+// isSortMutator matches in-place sorting calls whose argument comes out
+// canonically ordered: the sort package's sorters and slices.Sort*.
+func (a *analyzer) isSortMutator(call *ast.CallExpr) bool {
+	fn := a.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Sort", "Stable", "Slice", "SliceStable":
+			return true
+		}
+	case pkg == "slices" && strings.HasPrefix(fn.Name(), "Sort"):
+		return true
+	}
+	return false
+}
+
+// identObj resolves an identifier or identifier-expression to its object.
+func (a *analyzer) identObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return a.pass.TypesInfo.ObjectOf(id)
+}
+
+// calleeFunc resolves a call's target to a declared function or method.
+func (a *analyzer) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := a.pass.TypesInfo.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isMapExpr reports whether expr has map type.
+func isMapExpr(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Map)
+	return ok
+}
+
+// isNamedType reports whether expr's type (pointer-stripped) is a named
+// type with the given name.
+func isNamedType(pass *analysis.Pass, expr ast.Expr, name string) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// scanPruned walks n, pruning nested function literals.
+func scanPruned(n ast.Node, f func(ast.Node) bool) {
+	root := n
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != root {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// isTestFile reports whether file is a _test.go file.
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go")
+}

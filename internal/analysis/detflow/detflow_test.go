@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"lcrb/internal/analysis/analysistest"
+	"lcrb/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", detflow.Analyzer)
+}

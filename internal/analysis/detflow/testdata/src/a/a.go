@@ -1,0 +1,157 @@
+// Package a exercises the detflow analyzer: map-order, wall-clock, and
+// math/rand taint reaching results, fingerprints, and BENCH_ writes.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GreedyResult mirrors the core result type detflow protects.
+type GreedyResult struct {
+	Seeds   []string
+	Cost    float64
+	Elapsed time.Duration
+}
+
+// keysOf leaks map iteration order through its return value; detflow
+// exports that as a cross-function fact.
+func keysOf(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// --- interprocedural: a helper's return taint reaches the caller ---
+
+func pickFirst(m map[string]int) GreedyResult {
+	order := keysOf(m)
+	return GreedyResult{Seeds: order} // want `nondeterministic value \(map order, wall clock, or math/rand\) flows into GreedyResult field Seeds; sort or derive it via internal/rng first`
+}
+
+// pickSorted is the blessed idiom: sorting canonicalizes the order the
+// map handed out.
+func pickSorted(m map[string]int) GreedyResult {
+	order := keysOf(m)
+	sort.Strings(order)
+	return GreedyResult{Seeds: order}
+}
+
+// --- wall clock ---
+
+func leakClock(xs []string) GreedyResult {
+	return GreedyResult{Seeds: xs, Cost: float64(time.Now().UnixNano())} // want `nondeterministic value \(map order, wall clock, or math/rand\) flows into GreedyResult field Cost`
+}
+
+// elapsedOK measures with the clock but only a duration escapes:
+// time.Since sanitizes.
+func elapsedOK(xs []string) GreedyResult {
+	start := time.Now()
+	return GreedyResult{Seeds: xs, Elapsed: time.Since(start)}
+}
+
+// subOK: Time.Sub is the method form of the same sanitizer.
+func subOK() time.Duration {
+	start := time.Now()
+	end := time.Now()
+	return end.Sub(start)
+}
+
+// --- math/rand (internal/rng is seeded and deliberately not a source) ---
+
+func randomPick(xs []string) GreedyResult {
+	i := rand.Intn(len(xs))
+	return GreedyResult{Seeds: []string{xs[i]}} // want `nondeterministic value \(map order, wall clock, or math/rand\) flows into GreedyResult field Seeds`
+}
+
+// --- flow-sensitivity: taint picked up inside a loop survives the join ---
+
+func valueOrder(m map[string]int) GreedyResult {
+	best := ""
+	for k, v := range m {
+		if v > 0 {
+			best = k
+		}
+	}
+	return GreedyResult{Seeds: []string{best}} // want `nondeterministic value \(map order, wall clock, or math/rand\) flows into GreedyResult field Seeds`
+}
+
+// --- ranging over an already-tainted slice propagates ---
+
+func reorder(m map[string]int) []string {
+	tainted := keysOf(m)
+	var out []string
+	for _, v := range tainted {
+		out = append(out, v)
+	}
+	return out
+}
+
+func useReorder(m map[string]int) GreedyResult {
+	return GreedyResult{Seeds: reorder(m)} // want `nondeterministic value \(map order, wall clock, or math/rand\) flows into GreedyResult field Seeds`
+}
+
+// --- multi-value assignment from a tainted callee ---
+
+func first(m map[string]int) (string, bool) {
+	for k := range m {
+		return k, true
+	}
+	return "", false
+}
+
+func multi(m map[string]int) GreedyResult {
+	k, ok := first(m)
+	if !ok {
+		return GreedyResult{}
+	}
+	return GreedyResult{Seeds: []string{k}} // want `nondeterministic value \(map order, wall clock, or math/rand\) flows into GreedyResult field Seeds`
+}
+
+// --- fingerprints ---
+
+type sketch struct {
+	Fingerprint string
+	n           int
+}
+
+func stampFingerprint(m map[string]bool) sketch {
+	var s sketch
+	for k := range m {
+		s.Fingerprint = k // want `nondeterministic value \(map order, wall clock, or math/rand\) flows into fingerprint s\.Fingerprint; canonicalize the input first`
+		s.n++
+	}
+	return s
+}
+
+func hashFingerprint(parts string) string {
+	return parts
+}
+
+func callFingerprint(m map[string]bool) string {
+	for k := range m {
+		return hashFingerprint(k) // want `nondeterministic value \(map order, wall clock, or math/rand\) flows into hashFingerprint; canonicalize the input first`
+	}
+	return ""
+}
+
+// --- BENCH_ artifacts must be replayable ---
+
+func writeBench(m map[string]int) error {
+	var lines []string
+	for k := range m {
+		lines = append(lines, k)
+	}
+	return os.WriteFile("BENCH_greedy.json", []byte(strings.Join(lines, "\n")), 0o644) // want `nondeterministic value \(map order, wall clock, or math/rand\) flows into a BENCH_ file write; benchmarks must be replayable`
+}
+
+func writeBenchSorted(m map[string]int) error {
+	lines := keysOf(m)
+	sort.Strings(lines)
+	return os.WriteFile("BENCH_greedy.json", []byte(strings.Join(lines, "\n")), 0o644)
+}

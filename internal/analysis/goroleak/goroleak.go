@@ -1,0 +1,741 @@
+// Package goroleak verifies that every goroutine the repo launches is
+// provably joined or scoped: a `go` statement must be covered by a
+// recognized ownership idiom, otherwise it is a fire-and-forget goroutine
+// that can outlive its caller, leak, or drop its result.
+//
+// Accepted idioms, checked against the launching function's CFG
+// (internal/analysis/cfg) with a must-join dataflow pass
+// (internal/analysis/dataflow):
+//
+//   - context scope: the goroutine body (or the named callee, via a
+//     cross-function fact) waits on some ctx.Done(), so a drain or
+//     hard-cancel context bounds its lifetime;
+//   - WaitGroup: the body (or callee) calls wg.Done() for a WaitGroup
+//     with wg.Add(...) before the launch; a WaitGroup local to the
+//     launching function must additionally reach wg.Wait() on every path
+//     after the launch, while a captured or field WaitGroup is accepted
+//     as joined by its owner;
+//   - channel join: the body sends on a channel that either escapes the
+//     launching function (ownership transferred) or is received from on
+//     every path after the launch — a select that receives the channel on
+//     only one arm does not count, which is exactly the shape that drops
+//     a server's Serve error during drain;
+//   - receiver release: a body that only receives is released when the
+//     launching function closes one of those channels (including from
+//     nested function literals, e.g. a returned stop func).
+//
+// Fire-and-forget goroutines are flagged, with extra detail when the body
+// captures an http.ResponseWriter (the handler may return first) or a
+// mutex. Test files are exempt: the testing harness joins subtests.
+//
+// Known unsoundness is documented in DESIGN.md §12: Add-before-launch is
+// source-order, channel escape is syntactic, and callee summaries are
+// matched by idiom rather than by identity.
+package goroleak
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/cfg"
+	"lcrb/internal/analysis/dataflow"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "require every goroutine to be joined via WaitGroup/channel ownership or scoped by a ctx.Done wait",
+	Run:  run,
+}
+
+// Summary is the cross-function fact goroleak exports per function: the
+// join-relevant behavior of its body, consulted when the function is the
+// direct callee of a go statement.
+type Summary struct {
+	// DecrementsWG reports that the body calls Done() on some
+	// sync.WaitGroup (deferred or not).
+	DecrementsWG bool
+	// WaitsOnDone reports that the body waits on some context's Done
+	// channel, i.e. the goroutine is cancellation-scoped.
+	WaitsOnDone bool
+	// SendsOnParam lists the indices of channel parameters the body sends
+	// on, so the launch site can map them back to argument expressions.
+	SendsOnParam []int
+}
+
+// mustState is the lattice for the every-path join analysis.
+type mustState int
+
+const (
+	notLaunched mustState = iota // launch not yet reached
+	joined                       // launched and joined on this path
+	pending                      // launched, join still outstanding
+)
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: export a Summary fact for every function declaration, so
+	// `go f(...)` launches — here and in importing packages — can consult
+	// the callee's body.
+	local := map[*types.Func]Summary{}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := summarize(pass, fd)
+			local[fn] = sum
+			if pass.Facts != nil {
+				pass.Facts.ExportFact(fn.FullName(), sum)
+			}
+		}
+	}
+
+	// Pass 2: check every go statement in every function body. Function
+	// literals are analyzed as functions of their own, so a launch inside
+	// a closure is checked against that closure's control flow.
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, fb := range functionBodies(file) {
+			checkFunction(pass, fb, local)
+		}
+	}
+	return nil
+}
+
+// fnBody is one function-shaped body to analyze: a declaration or a
+// function literal.
+type fnBody struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// functionBodies collects every function declaration and function literal
+// in file, in source order.
+func functionBodies(file *ast.File) []fnBody {
+	var out []fnBody
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, fnBody{n.Name.Name, n.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, fnBody{"func literal", n.Body})
+		}
+		return true
+	})
+	return out
+}
+
+func checkFunction(pass *analysis.Pass, fb fnBody, local map[*types.Func]Summary) {
+	graph := cfg.New(fb.body)
+	for _, blk := range graph.Blocks {
+		for _, node := range blk.Nodes {
+			g, ok := node.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			checkLaunch(pass, fb, graph, g, local)
+		}
+	}
+}
+
+// checkLaunch classifies one go statement against the accepted idioms and
+// reports when none covers it.
+func checkLaunch(pass *analysis.Pass, fb fnBody, graph *cfg.CFG, g *ast.GoStmt, local map[*types.Func]Summary) {
+	var body ast.Node // goroutine body to scan; nil for opaque callees
+	var sum Summary
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+		sum = summarizeBody(pass, lit.Body)
+	} else if callee := calleeFunc(pass, g.Call); callee != nil {
+		if s, ok := local[callee]; ok {
+			sum = s
+		} else if pass.Facts != nil {
+			if f, ok := pass.Facts.ImportFact(callee.FullName()); ok {
+				if s, ok := f.(Summary); ok {
+					sum = s
+				}
+			}
+		}
+	}
+
+	// Idiom 1: cancellation scope — the body waits on some ctx.Done().
+	if sum.WaitsOnDone {
+		return
+	}
+
+	// Idiom 2: WaitGroup. Collect the WaitGroups the body decrements; the
+	// launch is joined when Add precedes the launch (or the WaitGroup is
+	// owned outside this function) and, for a function-local WaitGroup,
+	// Wait() is reached on every path after the launch.
+	wgKeys := map[string]ast.Expr{}
+	if body != nil {
+		scanPruned(body, func(n ast.Node) bool {
+			if recv, ok := methodReceiver(pass, n, "Done", isWaitGroup); ok {
+				wgKeys[types.ExprString(recv)] = recv
+			}
+			return true
+		})
+	}
+	addBefore := addsBefore(pass, fb.body, g.Pos())
+	if sum.DecrementsWG && len(wgKeys) == 0 && len(addBefore) > 0 {
+		// Named callee decrements a WaitGroup we cannot name from here
+		// (e.g. a field of its receiver); the Add-before-launch pairing is
+		// the evidence that this launch participates in that ownership.
+		return
+	}
+	for _, key := range sortedKeys(wgKeys) {
+		recv := wgKeys[key]
+		ownedHere := isLocalExpr(pass, fb.body, recv)
+		if !ownedHere {
+			// Captured or field WaitGroup: the owner joins it elsewhere
+			// (Group.Wait, server drain), Add-before is still required
+			// when the Add is visible here.
+			return
+		}
+		if _, ok := addBefore[key]; !ok {
+			continue
+		}
+		if mustJoin(graph, g, func(n ast.Node) bool {
+			recv2, ok := methodReceiver(pass, n, "Wait", isWaitGroup)
+			return ok && types.ExprString(recv2) == key
+		}) {
+			return
+		}
+		pass.Reportf(g.Pos(), "goroutine joins %s but %s.Wait() is not reached on every path after the launch", key, key)
+		return
+	}
+
+	// Idiom 3: channel join — the body sends on a channel that escapes or
+	// is received on every path after the launch.
+	sendKeys := map[string]ast.Expr{}
+	if body != nil {
+		scanPruned(body, func(n ast.Node) bool {
+			if send, ok := n.(*ast.SendStmt); ok {
+				sendKeys[types.ExprString(send.Chan)] = send.Chan
+			}
+			return true
+		})
+	}
+	for _, idx := range sum.SendsOnParam {
+		if idx < len(g.Call.Args) {
+			arg := g.Call.Args[idx]
+			sendKeys[types.ExprString(arg)] = arg
+		}
+	}
+	if len(sendKeys) > 0 {
+		for key, ch := range sendKeys {
+			if !isLocalExpr(pass, fb.body, ch) || chanEscapes(fb.body, key, g.Call) {
+				return
+			}
+			if mustJoin(graph, g, func(n ast.Node) bool { return receivesFrom(n, key) }) {
+				return
+			}
+		}
+		// Deterministic key for the message: the smallest.
+		key := ""
+		for k := range sendKeys {
+			if key == "" || k < key {
+				key = k
+			}
+		}
+		pass.Reportf(g.Pos(), "goroutine sends on %s but no receive from %s covers every path after the launch", key, key)
+		return
+	}
+
+	// Idiom 4: receiver release — a receive-only body is released when the
+	// launching function closes one of its channels (anywhere, including
+	// nested function literals such as a returned stop func).
+	recvKeys := map[string]ast.Expr{}
+	if body != nil {
+		scanPruned(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					recvKeys[types.ExprString(n.X)] = n.X
+				}
+			case *ast.RangeStmt:
+				if isChan(pass, n.X) {
+					recvKeys[types.ExprString(n.X)] = n.X
+				}
+			}
+			return true
+		})
+	}
+	if len(recvKeys) > 0 {
+		for key, ch := range recvKeys {
+			if !isLocalExpr(pass, fb.body, ch) {
+				return
+			}
+			if closesChan(fb.body, key) {
+				return
+			}
+		}
+		key := ""
+		for k := range recvKeys {
+			if key == "" || k < key {
+				key = k
+			}
+		}
+		pass.Reportf(g.Pos(), "goroutine receives from %s but nothing closes %s in the launching function", key, key)
+		return
+	}
+
+	// No idiom applies: fire-and-forget. Name the riskiest capture.
+	msg := "goroutine is not joined: no WaitGroup, channel join, or ctx.Done scope releases it"
+	if body != nil {
+		if name, ok := capturesResponseWriter(pass, body); ok {
+			msg += fmt.Sprintf("; it captures ResponseWriter %s (the handler may return first)", name)
+		} else if name, ok := capturesMutex(pass, body); ok {
+			msg += fmt.Sprintf("; it captures mutex %s", name)
+		}
+	}
+	pass.Reportf(g.Pos(), "%s", msg)
+}
+
+// mustJoin solves the every-path join problem: after the launch, does
+// every path to Exit pass a node isJoin accepts? Deferred joins count,
+// since they run at exit on the paths that registered them.
+func mustJoin(graph *cfg.CFG, launch *ast.GoStmt, isJoin func(ast.Node) bool) bool {
+	prob := &dataflow.Problem{
+		Graph:    graph,
+		Dir:      dataflow.Forward,
+		Boundary: notLaunched,
+		Join: func(a, b dataflow.Fact) dataflow.Fact {
+			x, y := a.(mustState), b.(mustState)
+			if x > y {
+				return x
+			}
+			return y
+		},
+		Equal: func(a, b dataflow.Fact) bool { return a.(mustState) == b.(mustState) },
+		Transfer: func(blk *cfg.Block, in dataflow.Fact) dataflow.Fact {
+			st := in.(mustState)
+			for _, n := range blk.Nodes {
+				if n == launch {
+					st = pending
+					continue
+				}
+				if st == pending && nodeHas(n, isJoin) {
+					st = joined
+				}
+			}
+			return st
+		},
+	}
+	res := dataflow.Solve(prob)
+	at := res.In[graph.Exit]
+	if at == nil || at.(mustState) != pending {
+		return true
+	}
+	for _, d := range graph.Defers {
+		if nodeHas(d, isJoin) {
+			return true
+		}
+	}
+	return false
+}
+
+// summarize computes the Summary for a declared function.
+func summarize(pass *analysis.Pass, fd *ast.FuncDecl) Summary {
+	sum := summarizeBody(pass, fd.Body)
+	// Map sends back to channel-typed parameters.
+	var params []*ast.Ident
+	for _, f := range fd.Type.Params.List {
+		params = append(params, f.Names...)
+	}
+	scanPruned(fd.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(send.Chan).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		for i, p := range params {
+			if obj != nil && pass.TypesInfo.ObjectOf(p) == obj {
+				sum.SendsOnParam = append(sum.SendsOnParam, i)
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// summarizeBody computes the body-shape part of a Summary (WaitGroup
+// decrements and ctx.Done waits), pruning nested function literals.
+func summarizeBody(pass *analysis.Pass, body *ast.BlockStmt) Summary {
+	var sum Summary
+	scanPruned(body, func(n ast.Node) bool {
+		if _, ok := methodReceiver(pass, n, "Done", isWaitGroup); ok {
+			sum.DecrementsWG = true
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCtxDoneCall(pass, n.X) {
+				sum.WaitsOnDone = true
+			}
+		case *ast.RangeStmt:
+			if isCtxDoneCall(pass, n.X) {
+				sum.WaitsOnDone = true
+			}
+		case *ast.CommClause:
+			if n.Comm != nil {
+				ast.Inspect(n.Comm, func(m ast.Node) bool {
+					if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW && isCtxDoneCall(pass, u.X) {
+						sum.WaitsOnDone = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// addsBefore returns the WaitGroup keys with an Add(...) call lexically
+// before pos in body (nested function literals excluded).
+func addsBefore(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos) map[string]bool {
+	out := map[string]bool{}
+	scanPruned(body, func(n ast.Node) bool {
+		if n.Pos() >= pos {
+			return true
+		}
+		if recv, ok := methodReceiver(pass, n, "Add", isWaitGroup); ok {
+			out[types.ExprString(recv)] = true
+		}
+		return true
+	})
+	return out
+}
+
+// methodReceiver matches n as a call expr recv.<name>() whose receiver
+// type wantType accepts, returning the receiver expression.
+func methodReceiver(pass *analysis.Pass, n ast.Node, name string, wantType func(types.Type) bool) (ast.Expr, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !wantType(tv.Type) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or a pointer to it.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isCtxDoneCall reports whether expr is x.Done() for a context.Context x.
+func isCtxDoneCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isContextType(tv.Type)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isChan reports whether expr has channel type.
+func isChan(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+// calleeFunc resolves a call's target to a declared function or method.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isLocalExpr reports whether expr's root object is declared inside body —
+// i.e. this function owns it, as opposed to a parameter, capture, field or
+// package-level variable.
+func isLocalExpr(pass *analysis.Pass, body *ast.BlockStmt, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false // selector (field) or more complex: owned elsewhere
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	return obj != nil && body.Pos() <= obj.Pos() && obj.Pos() < body.End()
+}
+
+// chanEscapes reports whether the channel named by key is handed to other
+// code in body: passed as a call argument (close/len/cap excluded),
+// returned, stored in a composite literal, or assigned into a field. The
+// launching call itself is excluded — handing the channel to the goroutine
+// under scrutiny is not an ownership transfer. The check is syntactic on
+// the expression's printed form.
+func chanEscapes(body *ast.BlockStmt, key string, launchCall *ast.CallExpr) bool {
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if n == launchCall {
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "close", "len", "cap", "make":
+					return true
+				}
+			}
+			for _, arg := range n.Args {
+				if exprContainsKey(arg, key) {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if exprContainsKey(r, key) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if exprContainsKey(e, key) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && i < len(n.Rhs) && exprContainsKey(n.Rhs[i], key) {
+					escaped = true
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// exprContainsKey reports whether expr contains an identifier path whose
+// printed form equals key (receive and send operators stripped).
+func exprContainsKey(expr ast.Expr, key string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW && types.ExprString(u.X) == key {
+				return false // a receive uses the chan, it doesn't move it
+			}
+			if types.ExprString(e) == key {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// closesChan reports whether body contains close(<key>) anywhere,
+// including nested function literals (a returned stop closure is a valid
+// releaser).
+func closesChan(body *ast.BlockStmt, key string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" &&
+			types.ExprString(call.Args[0]) == key {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// receivesFrom reports whether node n receives from the channel named by
+// key: a unary receive, a range over it, or a select clause receiving it.
+func receivesFrom(n ast.Node, key string) bool {
+	switch n := n.(type) {
+	case *cfg.RangeHead:
+		return types.ExprString(n.Range.X) == key
+	case *cfg.SelectHead:
+		return false // the clause CommHeads carry the receives
+	case *cfg.CommHead:
+		if n.Clause.Comm == nil {
+			return false
+		}
+		return astHasRecv(n.Clause.Comm, key)
+	default:
+		return astHasRecv(n, key)
+	}
+}
+
+// astHasRecv reports whether n contains <-key outside nested function
+// literals.
+func astHasRecv(n ast.Node, key string) bool {
+	found := false
+	scanPruned(n, func(m ast.Node) bool {
+		if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW && types.ExprString(u.X) == key {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeHas applies pred to a CFG node, handling the cfg wrapper types that
+// plain ast.Inspect cannot traverse.
+func nodeHas(n ast.Node, pred func(ast.Node) bool) bool {
+	switch n := n.(type) {
+	case *cfg.RangeHead, *cfg.SelectHead, *cfg.CommHead:
+		return pred(n)
+	}
+	found := false
+	scanPruned(n, func(m ast.Node) bool {
+		if pred(m) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedKeys returns m's keys in lexical order, for deterministic
+// iteration where report order matters.
+func sortedKeys(m map[string]ast.Expr) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// scanPruned walks n, pruning nested function literals (their statements
+// run on another goroutine's activation, not this function's paths).
+func scanPruned(n ast.Node, f func(ast.Node) bool) {
+	root := n
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != root {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// capturesResponseWriter finds an identifier in body whose type is named
+// ResponseWriter (http or any package's equivalent).
+func capturesResponseWriter(pass *analysis.Pass, body ast.Node) (string, bool) {
+	return findTypedIdent(pass, body, func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "ResponseWriter"
+	})
+}
+
+// capturesMutex finds an identifier in body whose type is sync.Mutex or
+// sync.RWMutex (or a pointer to one).
+func capturesMutex(pass *analysis.Pass, body ast.Node) (string, bool) {
+	return findTypedIdent(pass, body, func(t types.Type) bool {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+	})
+}
+
+// findTypedIdent returns the lexically first identifier in body whose type
+// matches pred.
+func findTypedIdent(pass *analysis.Pass, body ast.Node, pred func(types.Type) bool) (string, bool) {
+	name := ""
+	var at token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || obj.Type() == nil || !pred(obj.Type()) {
+			return true
+		}
+		if name == "" || id.Pos() < at {
+			name, at = id.Name, id.Pos()
+		}
+		return true
+	})
+	return name, name != ""
+}
+
+// isTestFile reports whether file is a _test.go file.
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go")
+}

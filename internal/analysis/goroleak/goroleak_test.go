@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"lcrb/internal/analysis/analysistest"
+	"lcrb/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", goroleak.Analyzer)
+}

@@ -1,0 +1,232 @@
+// Package a exercises the goroleak analyzer: every accepted join idiom
+// has a clean case, every violation a `// want` expectation.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// ResponseWriter mirrors net/http's interface by name: goroleak's capture
+// check is name-based so testdata does not need to type-check net/http.
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+}
+
+func serve() error { return nil }
+func shutdown()    {}
+
+// --- fire-and-forget ---
+
+func fireAndForget() {
+	go func() { // want `goroutine is not joined: no WaitGroup, channel join, or ctx.Done scope releases it`
+		println("x")
+	}()
+}
+
+func startHelper() {
+	go helper() // want `goroutine is not joined`
+}
+
+func helper() {
+	println("x")
+}
+
+func handler(w ResponseWriter) {
+	go func() { // want `goroutine is not joined: .*captures ResponseWriter w`
+		w.Write([]byte("late"))
+	}()
+}
+
+func lockCapture(mu *sync.Mutex) {
+	go func() { // want `goroutine is not joined: .*captures mutex mu`
+		mu.Lock()
+		mu.Unlock()
+	}()
+}
+
+// --- WaitGroup idiom ---
+
+func wgProper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func wgDeferredWait() {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func wgMissingWaitOnPath(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine joins wg but wg.Wait\(\) is not reached on every path after the launch`
+		defer wg.Done()
+	}()
+	if cond {
+		return
+	}
+	wg.Wait()
+}
+
+type owner struct {
+	wg sync.WaitGroup
+}
+
+// launch hands the join to the owner: a field WaitGroup with Add before
+// the go statement is joined by whoever drains the owner.
+func (o *owner) launch() {
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+	}()
+}
+
+func (o *owner) drain() {
+	o.wg.Wait()
+}
+
+// lead decrements the owner's WaitGroup, so `go o.lead()` after
+// o.wg.Add(1) is joined via the callee summary.
+func (o *owner) lead() {
+	defer o.wg.Done()
+}
+
+func (o *owner) startLead() {
+	o.wg.Add(1)
+	go o.lead()
+}
+
+// nested launches from inside a closure; the WaitGroup is captured from
+// the enclosing function, which owns the join.
+func nested() {
+	var wg sync.WaitGroup
+	launch := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	launch()
+	wg.Wait()
+}
+
+// --- channel join idiom ---
+
+func chanJoined() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serve()
+	}()
+	return <-errc
+}
+
+// selectOneArm is the regression shape for the daemon drain path that
+// dropped Serve's error: the select receives serveErr on only one arm, so
+// the cancellation arm abandons the sender and its result.
+func selectOneArm(ctx context.Context) {
+	serveErr := make(chan error, 1)
+	go func() { // want `goroutine sends on serveErr but no receive from serveErr covers every path after the launch`
+		serveErr <- serve()
+	}()
+	select {
+	case <-serveErr:
+	case <-ctx.Done():
+		shutdown()
+	}
+}
+
+// selectBothArms is the fixed shape: the cancellation arm receives the
+// send after shutdown, so every path joins the goroutine.
+func selectBothArms(ctx context.Context) {
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve()
+	}()
+	select {
+	case <-serveErr:
+	case <-ctx.Done():
+		shutdown()
+		<-serveErr
+	}
+}
+
+func produce(out chan<- int) {
+	out <- 1
+}
+
+func startProduce() {
+	results := make(chan int)
+	go produce(results)
+	<-results
+}
+
+func startProduceLeak(cond bool) {
+	results := make(chan int)
+	go produce(results) // want `goroutine sends on results but no receive from results covers every path after the launch`
+	if cond {
+		return
+	}
+	<-results
+}
+
+// escapeTransfersOwnership hands the channel to another function; the
+// receiver is assumed to live there (documented unsoundness).
+func escapeTransfersOwnership() {
+	results := make(chan int)
+	go func() {
+		results <- 1
+	}()
+	consume(results)
+}
+
+func consume(<-chan int) {}
+
+// --- context scope idiom ---
+
+func ctxScoped(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func ctxSelectScoped(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// --- receiver release idiom ---
+
+// recvReleased returns a stop func that closes the watcher's channel; the
+// close inside the nested literal releases the receiver.
+func recvReleased() func() {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	return func() { close(done) }
+}
+
+func recvLeaked() {
+	done := make(chan struct{})
+	go func() { // want `goroutine receives from done but nothing closes done in the launching function`
+		<-done
+	}()
+	_ = done
+}

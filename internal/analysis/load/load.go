@@ -42,6 +42,14 @@ type Package struct {
 	imports []string
 }
 
+// Imports returns the package's build-time import paths (test-only imports
+// excluded), as reported by `go list`. Checkers use it to order analysis
+// runs so cross-function facts exported by a dependency are available when
+// its importers are analyzed.
+func (p *Package) Imports() []string {
+	return p.imports
+}
+
 // listedPackage is the subset of `go list -json` output the loader reads.
 type listedPackage struct {
 	ImportPath   string

@@ -1,0 +1,642 @@
+// Package lockguard enforces the repo's critical-section discipline with
+// a forward dataflow pass over each function's CFG: a sync.Mutex/RWMutex
+// must not be held across operations that can block indefinitely, every
+// lock must be released on every return path, and no path may unlock a
+// mutex twice.
+//
+// Per mutex expression (keyed by its printed form, e.g. "s.mu"), the
+// analysis tracks a small lattice: unknown < locked/unlocked < maybe
+// (paths disagree). Three checks fire on the solved facts:
+//
+//   - blocking-under-lock: while a mutex is definitely held, the path
+//     reaches a channel send or receive, a blocking select (one with no
+//     default is non-blocking and exempt), a range over a channel,
+//     time.Sleep, recognizable I/O (net, net/http, os file ops, or
+//     fmt.Fprint* to a writer that is not an in-memory buffer), or a call
+//     to a function whose exported fact says it may block;
+//   - release-on-every-path: at function exit a key that is locked (or
+//     locked on some path but not others) with no deferred unlock is
+//     reported at its lock site — the multi-return missing
+//     `defer mu.Unlock()` bug;
+//   - double-unlock: an Unlock reached while the key is already
+//     definitely unlocked on that path (definite only; "maybe" states
+//     stay quiet to avoid false positives on correlated branches).
+//
+// Function literals are analyzed as functions of their own; deferred
+// statements neither transition lock state (they run at exit) nor count
+// as blocking on the path. Cross-function "may block" facts are computed
+// per declared function and exported, so a helper that does I/O taints
+// its callers' critical sections — the shape behind an SSE sink calling
+// its emit helper under the mutex. Test files are exempt.
+//
+// Known unsoundness is documented in DESIGN.md §12: keys are syntactic,
+// aliasing is invisible, and interface-typed sync.Locker values are not
+// tracked.
+package lockguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"lcrb/internal/analysis"
+	"lcrb/internal/analysis/cfg"
+	"lcrb/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "forbid blocking calls under a held mutex, unreleased locks on return paths, and double unlocks",
+	Run:  run,
+}
+
+// Summary is the cross-function fact lockguard exports per function.
+type Summary struct {
+	// MayBlock reports that calling the function can block indefinitely:
+	// its body performs channel operations, blocking selects, sleeps, or
+	// recognizable I/O (transitively through local calls).
+	MayBlock bool
+}
+
+// lstate is one mutex's status on a path.
+type lstate uint8
+
+const (
+	stUnknown  lstate = iota // never touched
+	stLocked                 // definitely held
+	stUnlocked               // definitely released
+	stMaybe                  // paths disagree
+)
+
+// lockFact maps mutex keys to states. Facts are immutable: transfer
+// copies before writing.
+type lockFact map[string]lstate
+
+func run(pass *analysis.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	mayBlock := computeMayBlock(pass, decls)
+	for fn, blocks := range mayBlock {
+		if pass.Facts != nil {
+			pass.Facts.ExportFact(fn.FullName(), Summary{MayBlock: blocks})
+		}
+	}
+
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunction(pass, n.Body, mayBlock)
+				}
+			case *ast.FuncLit:
+				checkFunction(pass, n.Body, mayBlock)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunction(pass *analysis.Pass, body *ast.BlockStmt, mayBlock map[*types.Func]bool) {
+	// Fast path: skip functions that never lock.
+	locks := false
+	scanPruned(body, func(n ast.Node) bool {
+		if _, _, ok := lockEvent(pass, n); ok {
+			locks = true
+			return false
+		}
+		return true
+	})
+	if !locks {
+		return
+	}
+
+	graph := cfg.New(body)
+
+	deferred := map[string]bool{}
+	for _, d := range graph.Defers {
+		if key, ev, ok := lockEvent(pass, d.Call); ok && (ev == evUnlock) {
+			deferred[key] = true
+		}
+	}
+
+	prob := &dataflow.Problem{
+		Graph:    graph,
+		Dir:      dataflow.Forward,
+		Boundary: lockFact{},
+		Join:     joinFacts,
+		Equal:    equalFacts,
+		Transfer: func(blk *cfg.Block, in dataflow.Fact) dataflow.Fact {
+			return transferBlock(pass, blk, in.(lockFact), mayBlock, nil)
+		},
+	}
+	res := dataflow.Solve(prob)
+
+	// Reporting pass: re-run each reachable block's transfer from its
+	// stable input with the report hook armed. The facts cannot change, so
+	// every diagnostic is emitted exactly once, in block order.
+	for _, blk := range graph.Blocks {
+		in := res.In[blk]
+		if in == nil {
+			continue
+		}
+		transferBlock(pass, blk, in.(lockFact), mayBlock, pass.Report)
+	}
+
+	// Exit check: a key locked on all or some paths into Exit, without a
+	// deferred unlock, escapes the function still held.
+	exitIn, _ := res.In[graph.Exit].(lockFact)
+	if exitIn == nil {
+		return
+	}
+	lockSites := firstLockSites(pass, body)
+	keys := make([]string, 0, len(exitIn))
+	for k := range exitIn {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		st := exitIn[key]
+		if (st == stLocked || st == stMaybe) && !deferred[key] {
+			pos, ok := lockSites[key]
+			if !ok {
+				continue
+			}
+			pass.Reportf(pos, "%s is locked here but not released on every return path; consider defer %s.Unlock()", key, key)
+		}
+	}
+}
+
+type lockEventKind uint8
+
+const (
+	evLock lockEventKind = iota + 1
+	evUnlock
+)
+
+// lockEvent matches n as recv.Lock/RLock/Unlock/RUnlock() on a
+// sync.Mutex or sync.RWMutex. Read locks get a "/R" key suffix so the
+// two lock classes are tracked independently.
+func lockEvent(pass *analysis.Pass, n ast.Node) (key string, kind lockEventKind, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	var k lockEventKind
+	suffix := ""
+	switch sel.Sel.Name {
+	case "Lock":
+		k = evLock
+	case "Unlock":
+		k = evUnlock
+	case "RLock":
+		k, suffix = evLock, "/R"
+	case "RUnlock":
+		k, suffix = evUnlock, "/R"
+	default:
+		return "", 0, false
+	}
+	tv, found := pass.TypesInfo.Types[sel.X]
+	if !found || !isMutex(tv.Type) {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X) + suffix, k, true
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (or pointer).
+func isMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// transferBlock applies one block's events to the incoming fact. When
+// report is non-nil it also emits the blocking-under-lock and
+// double-unlock diagnostics for this block (the reporting pass).
+func transferBlock(pass *analysis.Pass, blk *cfg.Block, in lockFact, mayBlock map[*types.Func]bool, report func(analysis.Diagnostic)) lockFact {
+	cur := in
+	cloned := false
+	set := func(key string, st lstate) {
+		if !cloned {
+			next := make(lockFact, len(cur)+1)
+			for k, v := range cur {
+				next[k] = v
+			}
+			cur, cloned = next, true
+		}
+		cur[key] = st
+	}
+	reportf := func(pos token.Pos, format string, args ...any) {
+		if report != nil {
+			report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+		}
+	}
+
+	for _, node := range blk.Nodes {
+		switch node.(type) {
+		case *ast.DeferStmt:
+			// Deferred calls run at exit: no transitions, no blocking on
+			// this path. The exit check accounts for deferred unlocks.
+			continue
+		case *ast.GoStmt:
+			// The launch itself does not block this path.
+			continue
+		}
+
+		// Blocking check first, against the state before this node's own
+		// transitions (a Lock statement is not "under" itself).
+		if desc, pos, blocking := blockingDesc(pass, node, mayBlock); blocking {
+			held := heldKeys(cur)
+			if len(held) > 0 {
+				reportf(pos, "%s is held across %s; shrink the critical section or hand off outside the lock", held[0], desc)
+			}
+		}
+
+		// Then apply this node's lock events in source order.
+		events(pass, node, func(key string, kind lockEventKind, pos token.Pos) {
+			switch kind {
+			case evLock:
+				set(key, stLocked)
+			case evUnlock:
+				if cur[key] == stUnlocked {
+					reportf(pos, "%s unlocked twice on this path", key)
+				}
+				set(key, stUnlocked)
+			}
+		})
+	}
+	return cur
+}
+
+// events walks one CFG node (pruning function literals) and invokes f for
+// each lock event in source order. Wrapper nodes carry no lock events.
+func events(pass *analysis.Pass, node ast.Node, f func(key string, kind lockEventKind, pos token.Pos)) {
+	switch node.(type) {
+	case *cfg.RangeHead, *cfg.SelectHead, *cfg.CommHead:
+		return
+	}
+	scanPruned(node, func(n ast.Node) bool {
+		if key, kind, ok := lockEvent(pass, n); ok {
+			f(key, kind, n.Pos())
+		}
+		return true
+	})
+}
+
+// heldKeys returns the definitely-held mutex keys in lexical order.
+func heldKeys(f lockFact) []string {
+	var out []string
+	for k, st := range f {
+		if st == stLocked {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// blockingDesc reports whether executing node can block indefinitely and
+// describes how. The first blocking construct in source order wins.
+func blockingDesc(pass *analysis.Pass, node ast.Node, mayBlock map[*types.Func]bool) (string, token.Pos, bool) {
+	switch n := node.(type) {
+	case *cfg.RangeHead:
+		if isChanExpr(pass, n.Range.X) {
+			return "a range over a channel", n.Pos(), true
+		}
+		return "", token.NoPos, false
+	case *cfg.SelectHead:
+		if n.Blocking() {
+			return "a blocking select", n.Pos(), true
+		}
+		return "", token.NoPos, false
+	case *cfg.CommHead:
+		// The wait happened at the SelectHead; executing a ready clause
+		// does not block.
+		return "", token.NoPos, false
+	}
+
+	var desc string
+	var at token.Pos
+	scanPruned(node, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			desc, at = "a channel send", n.Pos()
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				desc, at = "a channel receive", n.Pos()
+			}
+		case *ast.CallExpr:
+			if d, ok := callBlocks(pass, n, mayBlock); ok {
+				desc, at = d, n.Pos()
+			}
+		}
+		return desc == ""
+	})
+	return desc, at, desc != ""
+}
+
+// callBlocks classifies one call as blocking: time.Sleep, recognizable
+// I/O, or a callee whose fact says it may block.
+func callBlocks(pass *analysis.Pass, call *ast.CallExpr, mayBlock map[*types.Func]bool) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return "", false
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch {
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	case pkg == "net" || pkg == "net/http":
+		return "I/O (" + pkg + "." + fn.Name() + ")", true
+	case pkg == "os" && osFileOps[fn.Name()]:
+		return "I/O (os." + fn.Name() + ")", true
+	case isOSFileMethod(fn):
+		return "I/O ((*os.File)." + fn.Name() + ")", true
+	case pkg == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"):
+		if len(call.Args) > 0 && !isInMemoryWriter(pass, call.Args[0]) {
+			return "I/O (fmt." + fn.Name() + " to a non-buffer writer)", true
+		}
+	}
+	if mayBlock[fn] {
+		return "a call to " + fn.Name() + ", which may block", true
+	}
+	if pass.Facts != nil {
+		if f, ok := pass.Facts.ImportFact(fn.FullName()); ok {
+			if s, ok := f.(Summary); ok && s.MayBlock {
+				return "a call to " + fn.Name() + ", which may block", true
+			}
+		}
+	}
+	return "", false
+}
+
+// osFileOps are the os package functions treated as file I/O.
+var osFileOps = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "Rename": true,
+	"ReadDir": true, "Stat": true, "Lstat": true, "Truncate": true,
+}
+
+// isOSFileMethod reports whether fn is a method on *os.File.
+func isOSFileMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}
+
+// isInMemoryWriter reports whether expr's static type is *bytes.Buffer or
+// *strings.Builder — writers that cannot block.
+func isInMemoryWriter(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer":
+		return true
+	case obj.Pkg().Path() == "strings" && obj.Name() == "Builder":
+		return true
+	}
+	return false
+}
+
+// computeMayBlock decides, for every declared function, whether calling it
+// can block, following local calls transitively (cycles resolve to the
+// primitives found before the cycle closes).
+func computeMayBlock(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	memo := map[*types.Func]bool{}
+	visiting := map[*types.Func]bool{}
+	var visit func(fn *types.Func) bool
+	visit = func(fn *types.Func) bool {
+		if v, ok := memo[fn]; ok {
+			return v
+		}
+		if visiting[fn] {
+			return false
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+		fd := decls[fn]
+		if fd == nil {
+			if pass.Facts != nil {
+				if f, ok := pass.Facts.ImportFact(fn.FullName()); ok {
+					if s, ok := f.(Summary); ok {
+						memo[fn] = s.MayBlock
+						return s.MayBlock
+					}
+				}
+			}
+			return false
+		}
+		blocks := false
+		scanPruned(fd.Body, func(n ast.Node) bool {
+			if blocks {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				blocks = true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					blocks = true
+				}
+			case *ast.SelectStmt:
+				blocks = blockingSelect(n)
+			case *ast.RangeStmt:
+				if isChanExpr(pass, n.X) {
+					blocks = true
+				}
+			case *ast.CallExpr:
+				if d, ok := callBlocks(pass, n, nil); ok {
+					_ = d
+					blocks = true
+				} else if callee := calleeFunc(pass, n); callee != nil && decls[callee] != nil {
+					if visit(callee) {
+						blocks = true
+					}
+				}
+			}
+			return !blocks
+		})
+		memo[fn] = blocks
+		return blocks
+	}
+	for fn := range decls {
+		visit(fn)
+	}
+	return memo
+}
+
+// blockingSelect reports whether sel has no default clause.
+func blockingSelect(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// joinFacts merges two lock facts: agreeing keys keep their state, any
+// disagreement (including touched-vs-untouched) becomes maybe.
+func joinFacts(a, b dataflow.Fact) dataflow.Fact {
+	fa, fb := a.(lockFact), b.(lockFact)
+	out := make(lockFact, len(fa)+len(fb))
+	for k, va := range fa {
+		if vb, ok := fb[k]; ok {
+			if va == vb {
+				out[k] = va
+			} else {
+				out[k] = stMaybe
+			}
+		} else if va == stLocked || va == stMaybe {
+			out[k] = stMaybe
+		} else {
+			out[k] = va
+		}
+	}
+	for k, vb := range fb {
+		if _, ok := fa[k]; ok {
+			continue
+		}
+		if vb == stLocked || vb == stMaybe {
+			out[k] = stMaybe
+		} else {
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+func equalFacts(a, b dataflow.Fact) bool {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, v := range fa {
+		if fb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// firstLockSites maps each mutex key to its lexically first Lock call in
+// body — the anchor for release-on-every-path diagnostics.
+func firstLockSites(pass *analysis.Pass, body *ast.BlockStmt) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	scanPruned(body, func(n ast.Node) bool {
+		if key, kind, ok := lockEvent(pass, n); ok && kind == evLock {
+			if _, seen := out[key]; !seen {
+				out[key] = n.Pos()
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeFunc resolves a call's target to a declared function or method.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isChanExpr reports whether expr has channel type.
+func isChanExpr(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+// scanPruned walks n, pruning nested function literals.
+func scanPruned(n ast.Node, f func(ast.Node) bool) {
+	root := n
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != root {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// isTestFile reports whether file is a _test.go file.
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go")
+}

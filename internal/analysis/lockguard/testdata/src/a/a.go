@@ -1,0 +1,156 @@
+// Package a exercises the lockguard analyzer: blocking ops under a held
+// mutex, locks not released on every return path, and double unlocks.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	state int
+	w     io.Writer
+}
+
+// --- clean shapes ---
+
+func (s *store) deferUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+func (s *store) manualUnlockAllPaths(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		v := s.state
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// copyThenBlock copies under the lock and blocks after releasing — the
+// latency-window idiom.
+func (s *store) copyThenBlock(ch chan int) {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	ch <- v
+}
+
+// nonBlockingSelect holds the lock across a select with a default, which
+// cannot block.
+func (s *store) nonBlockingSelect(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.state = v
+	default:
+	}
+}
+
+// bufferWrite holds the lock across an in-memory write, which is fine.
+func (s *store) bufferWrite(buf *bytes.Buffer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(buf, "state=%d", s.state)
+}
+
+func (s *store) readLocked() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.state
+}
+
+// --- blocking under lock ---
+
+func (s *store) sendUnderLock(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- s.state // want `s\.mu is held across a channel send`
+}
+
+func (s *store) recvUnderLock(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = <-ch // want `s\.mu is held across a channel receive`
+}
+
+func (s *store) selectUnderLock(ch chan int, done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `s\.mu is held across a blocking select`
+	case v := <-ch:
+		s.state = v
+	case <-done:
+	}
+}
+
+func (s *store) sleepUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `s\.mu is held across time.Sleep`
+}
+
+func (s *store) rangeChanUnderLock(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range ch { // want `s\.mu is held across a range over a channel`
+		s.state = v
+	}
+}
+
+// writerWrite is the SSE-sink shape: Fprintf to an io.Writer that may be
+// a network connection, while the mutex serializes the stream.
+func (s *store) writerWrite() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "state=%d", s.state) // want `s\.mu is held across I/O \(fmt.Fprintf to a non-buffer writer\)`
+}
+
+// emit performs the I/O; send calls it under the lock, so the callee
+// summary propagates the blocking behavior to the call site.
+func (s *store) emit(v int) {
+	fmt.Fprintf(s.w, "v=%d", v)
+}
+
+func (s *store) send(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = v
+	s.emit(v) // want `s\.mu is held across a call to emit, which may block`
+}
+
+// --- release on every path ---
+
+func (s *store) leakOnEarlyReturn(cond bool) int {
+	s.mu.Lock() // want `s\.mu is locked here but not released on every return path`
+	if cond {
+		return s.state
+	}
+	v := s.state
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) neverReleased() {
+	s.mu.Lock() // want `s\.mu is locked here but not released on every return path`
+	s.state++
+}
+
+// --- double unlock ---
+
+func (s *store) doubleUnlock() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	s.mu.Unlock() // want `s\.mu unlocked twice on this path`
+}

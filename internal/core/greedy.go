@@ -224,6 +224,7 @@ func GreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*Greedy
 		workers = 1
 	}
 	ev := &sigmaEvaluator{
+		//lint:ignore ctxflow the evaluator lives for exactly one Greedy call; the field is call-scoped plumbing to worker goroutines, not a pinned lifetime
 		ctx:       ctx,
 		p:         p,
 		realSeeds: realSeeds,

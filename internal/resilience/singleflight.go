@@ -51,8 +51,10 @@ type flight struct {
 //lint:ignore ctxpair run is a stored lifetime scope for future leaders, not a per-call cancellation parameter, so the Foo/FooContext pairing does not apply
 func NewGroup(run context.Context) *Group {
 	if run == nil {
+		//lint:ignore ctxflow nil means uncancellable leaders by documented contract; Background is that contract, not a dropped caller context
 		run = context.Background()
 	}
+	//lint:ignore ctxflow the group stores its leader lifetime scope by design; per-call contexts govern waiters via DoContext
 	return &Group{run: run, flights: make(map[string]*flight)}
 }
 

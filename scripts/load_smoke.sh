@@ -18,11 +18,34 @@ set -eu
 out="${1:-BENCH_serve.json}"
 workdir="$(mktemp -d)"
 daemon_pid=""
+# cleanup preserves the script's exit status through the EXIT trap and
+# folds the daemon's own exit code into it: a run that aborts mid-script
+# used to KILL the daemon and report whatever the trap left in $?, hiding
+# both the original failure and how the daemon went down. TERM first so
+# the daemon can drain; KILL only if it ignores the request.
 cleanup() {
+    status=$?
     if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
-        kill -KILL "$daemon_pid" 2>/dev/null || true
+        kill -TERM "$daemon_pid" 2>/dev/null || true
+        i=0
+        while kill -0 "$daemon_pid" 2>/dev/null; do
+            i=$((i + 1))
+            if [ "$i" -gt 100 ]; then
+                echo "load-smoke: daemon ignored SIGTERM in cleanup, killing" >&2
+                kill -KILL "$daemon_pid" 2>/dev/null || true
+                break
+            fi
+            sleep 0.1
+        done
+        rc=0
+        wait "$daemon_pid" || rc=$?
+        if [ "$status" = 0 ] && [ "$rc" != 0 ]; then
+            echo "load-smoke: daemon exited $rc during cleanup" >&2
+            status="$rc"
+        fi
     fi
     rm -rf "$workdir"
+    exit "$status"
 }
 trap cleanup EXIT
 

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"time"
+
+	"lcrb/internal/sketch"
+)
+
+// benchSmokeFixture is the committed BENCH_smoke.json: the exact greedy-RIS
+// selection on a pinned small instance. `make bench-smoke` re-solves the
+// instance and fails if any field drifts — the selection-determinism gate
+// that catches a kernel or sampler change silently moving answers.
+type benchSmokeFixture struct {
+	// Instance pins the inputs: the perfInstance construction at this
+	// scale and seed, a fixed-Samples sketch build, and the solve alpha.
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Seed    uint64  `json:"seed"`
+	Samples int     `json:"samples"`
+	Alpha   float64 `json:"alpha"`
+	NumEnds int     `json:"num_ends"`
+	// Outputs: the full selection, in order, with its integer-exact
+	// coverage facts. Gains are in pair units (gain × samples), so the
+	// fixture holds only integers and string-exact floats.
+	Protectors    []int32 `json:"protectors"`
+	PairGains     []int   `json:"pair_gains"`
+	Evaluations   int     `json:"evaluations"`
+	BaselinePairs int     `json:"baseline_pairs"`
+	Achieved      bool    `json:"achieved"`
+	Fingerprint   string  `json:"fingerprint"`
+}
+
+// benchSmokeScale keeps the gate fast: a few hundred nodes, sub-second
+// end to end.
+const (
+	benchSmokeScale   = 0.05
+	benchSmokeSeed    = 1
+	benchSmokeSamples = 64
+	benchSmokeAlpha   = 0.9
+)
+
+// solveBenchSmoke builds the pinned instance and returns its fixture.
+func solveBenchSmoke(ctx context.Context) (*benchSmokeFixture, error) {
+	_, prob, _, _, err := perfInstance(benchSmokeScale, benchSmokeSeed)
+	if err != nil {
+		return nil, err
+	}
+	opts := sketch.Options{Samples: benchSmokeSamples, Seed: 7}
+	set, err := sketch.BuildContext(ctx, prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sketch.SolveGreedyRISContext(ctx, prob, set, sketch.SolveOptions{Alpha: benchSmokeAlpha})
+	if err != nil {
+		return nil, err
+	}
+	fx := &benchSmokeFixture{
+		Dataset:       "hep",
+		Scale:         benchSmokeScale,
+		Seed:          benchSmokeSeed,
+		Samples:       set.Samples,
+		Alpha:         benchSmokeAlpha,
+		NumEnds:       prob.NumEnds(),
+		Protectors:    res.Protectors,
+		PairGains:     make([]int, 0, len(res.Gains)),
+		Evaluations:   res.Evaluations,
+		BaselinePairs: set.BaselinePairs,
+		Achieved:      res.Achieved,
+		Fingerprint:   set.Fingerprint,
+	}
+	for _, g := range res.Gains {
+		// Gains are integer pair counts divided by Samples; recover the
+		// integer so the fixture comparison never touches float formatting.
+		fx.PairGains = append(fx.PairGains, int(g*float64(set.Samples)+0.5))
+	}
+	return fx, nil
+}
+
+// runBenchSmoke re-solves the pinned instance and compares against the
+// committed fixture at path (or rewrites it with update set).
+func runBenchSmoke(ctx context.Context, path string, update bool, stdout io.Writer) error {
+	start := time.Now()
+	got, err := solveBenchSmoke(ctx)
+	if err != nil {
+		return fmt.Errorf("bench-smoke: %w", err)
+	}
+	if update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "bench-smoke: fixture rewritten to %s (%d protectors, %d evaluations)\n",
+			path, len(got.Protectors), got.Evaluations)
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-smoke: read fixture (rerun with -bench-smoke-update to create it): %w", err)
+	}
+	var want benchSmokeFixture
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("bench-smoke: decode fixture %s: %w", path, err)
+	}
+	if !reflect.DeepEqual(*got, want) {
+		gotBuf, _ := json.Marshal(got)
+		wantBuf, _ := json.Marshal(want)
+		return fmt.Errorf("bench-smoke: RIS selection drifted from the committed fixture %s\n got: %s\nwant: %s\n(if the change is intentional, regenerate with -bench-smoke-update)",
+			path, gotBuf, wantBuf)
+	}
+	fmt.Fprintf(stdout, "bench-smoke: OK — %d protectors, %d evaluations, α=%.2g achieved=%v, matched %s in %v\n",
+		len(got.Protectors), got.Evaluations, got.Alpha, got.Achieved, path,
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}

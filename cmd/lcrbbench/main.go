@@ -68,12 +68,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		perfPath  = fs.String("perf", "", "skip the experiments: run the serial-vs-parallel greedy benchmark and write its JSON report to this file")
 		perfScale = fs.Float64("perf-scale", 0.08, "network scale of the -perf benchmark instance")
 		smoke     = fs.Bool("sketch-smoke", false, "skip the experiments: run the fast RR-set sketch end-to-end check")
+		benchFix  = fs.String("bench-smoke", "", "skip the experiments: re-solve the pinned RIS instance and fail if the selection drifts from this committed fixture")
+		benchUpd  = fs.Bool("bench-smoke-update", false, "with -bench-smoke: rewrite the fixture instead of comparing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *smoke {
 		return runSketchSmoke(ctx, stdout, stderr)
+	}
+	if *benchFix != "" {
+		return runBenchSmoke(ctx, *benchFix, *benchUpd, stdout)
+	}
+	if *benchUpd {
+		return fmt.Errorf("-bench-smoke-update requires -bench-smoke")
 	}
 	if *perfPath != "" {
 		return runPerf(ctx, *perfPath, *perfScale, *workers, stdout, stderr)

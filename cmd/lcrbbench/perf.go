@@ -54,6 +54,45 @@ type perfReport struct {
 	// cuts diffusion work even when its entire build is charged to a
 	// single solve. Every further warm solve costs zero simulations.
 	SimReductionIncludingBuild float64 `json:"sim_reduction_including_build"`
+	// Kernel is the bitset-kernel speedup leg: the same warm sketch solved
+	// by the retired map/bool-slice selector (before) and the bitset/CSR
+	// selector (after), with a bit-identity verdict on the selections.
+	Kernel kernelReport `json:"kernel"`
+	// Adaptive reports the martingale stopping rule on two instances: the
+	// benchmark instance and a smaller one that must stop earlier.
+	Adaptive []adaptiveReport `json:"adaptive"`
+}
+
+// kernelReport is the before/after comparison of the RIS selector's
+// coverage machinery on one warm sketch.
+type kernelReport struct {
+	// BeforeNs and AfterNs are mean per-solve wall-clocks over Iterations
+	// repetitions of the reference (map/bool-slice) and bitset selectors.
+	BeforeNs   int64   `json:"before_ns"`
+	AfterNs    int64   `json:"after_ns"`
+	Iterations int     `json:"iterations"`
+	Speedup    float64 `json:"speedup"`
+	// Identical confirms the two selectors returned DeepEqual results —
+	// same protectors, gains, σ̂ and evaluation counts. The bench fails
+	// when they diverge; a kernel speedup that changes answers is a bug.
+	Identical bool `json:"identical"`
+}
+
+// adaptiveReport is one adaptive-build leg: the stopping rule's inputs and
+// where growth actually ended.
+type adaptiveReport struct {
+	Instance        string  `json:"instance"`
+	Scale           float64 `json:"scale"`
+	NumEnds         int     `json:"num_ends"`
+	Epsilon         float64 `json:"epsilon"`
+	Delta           float64 `json:"delta"`
+	MaxSamples      int     `json:"max_samples"`
+	RealizedSamples int     `json:"realized_samples"`
+	// StoppedEarly is realized < max; BoundMet is whether the ε target was
+	// certified when growth ended (false only when the cap cut it off).
+	StoppedEarly bool  `json:"stopped_early"`
+	BoundMet     bool  `json:"bound_met"`
+	BuildNs      int64 `json:"build_ns"`
 }
 
 // estimatorReport is one σ̂ engine's leg of the comparison.
@@ -80,13 +119,12 @@ type estimatorReport struct {
 	RelErrJudge float64 `json:"rel_err_judge"`
 }
 
-// runPerf solves one LCRB-P instance twice — serial and parallel σ̂
-// evaluation — and writes the timing comparison to path as JSON.
-func runPerf(ctx context.Context, path string, scale float64, workers int, stdout, stderr io.Writer) error {
-	const seed = 1
+// perfInstance builds the benchmark's Hep LCRB instance at the given
+// scale: community closest to 80 members, |C|/10 rumor seeds (min 2).
+func perfInstance(scale float64, seed uint64) (*gen.Network, *core.Problem, []int32, int, error) {
 	net, err := gen.Hep(scale, seed)
 	if err != nil {
-		return err
+		return nil, nil, nil, 0, err
 	}
 	part := community.Louvain(net.Graph, community.LouvainOptions{Seed: seed})
 	comm := part.ClosestBySize(80)
@@ -101,6 +139,44 @@ func runPerf(ctx context.Context, path string, scale float64, workers int, stdou
 		rumors = append(rumors, members[i])
 	}
 	prob, err := core.NewProblem(net.Graph, part.Assign(), comm, rumors)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return net, prob, rumors, len(members), nil
+}
+
+// measureNs times fn by repetition — at least 5 runs and 200ms of total
+// wall clock, capped at 2000 runs — and returns the mean per-run
+// nanoseconds with the repetition count. Single-shot timings of
+// millisecond-scale solves are too noisy to gate a speedup on.
+func measureNs(ctx context.Context, fn func() error) (int64, int, error) {
+	const (
+		minIters = 5
+		maxIters = 2000
+		minDur   = 200 * time.Millisecond
+	)
+	iters := 0
+	start := time.Now()
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, iters, err
+		}
+		if err := fn(); err != nil {
+			return 0, iters, err
+		}
+		iters++
+		if (iters >= minIters && time.Since(start) >= minDur) || iters >= maxIters {
+			break
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(iters), iters, nil
+}
+
+// runPerf solves one LCRB-P instance twice — serial and parallel σ̂
+// evaluation — and writes the timing comparison to path as JSON.
+func runPerf(ctx context.Context, path string, scale float64, workers int, stdout, stderr io.Writer) error {
+	const seed = 1
+	net, prob, rumors, commSize, err := perfInstance(scale, seed)
 	if err != nil {
 		return err
 	}
@@ -120,7 +196,7 @@ func runPerf(ctx context.Context, path string, scale float64, workers int, stdou
 
 	opts := core.GreedyOptions{Alpha: 0.9, Samples: 30, Seed: 7, Workers: 1}
 	fmt.Fprintf(stderr, "perf: hep scale %g: |C| = %d, |R| = %d, |B| = %d\n",
-		scale, len(members), len(rumors), prob.NumEnds())
+		scale, commSize, len(rumors), prob.NumEnds())
 
 	start := time.Now()
 	serial, err := core.GreedyContext(ctx, prob, opts)
@@ -180,12 +256,39 @@ func runPerf(ctx context.Context, path string, scale float64, workers int, stdou
 		return fmt.Errorf("sketch build: %w", err)
 	}
 	buildNs := time.Since(buildStart)
-	solveStart := time.Now()
-	ris, err := sketch.SolveGreedyRISContext(ctx, prob, set, sketch.SolveOptions{Alpha: 0.9})
+
+	// Kernel leg: solve the same warm sketch with the retired
+	// map/bool-slice selector and the bitset/CSR selector, both timed by
+	// repetition, and require DeepEqual results — the speedup must not
+	// move a single selection.
+	ri := sketch.NewReferenceIndex(set)
+	var ris, ref *core.GreedyResult
+	afterNs, afterIters, err := measureNs(ctx, func() error {
+		ris, err = sketch.SolveGreedyRISContext(ctx, prob, set, sketch.SolveOptions{Alpha: 0.9})
+		return err
+	})
 	if err != nil {
 		return fmt.Errorf("ris solve: %w", err)
 	}
-	risSolveNs := time.Since(solveStart)
+	beforeNs, _, err := measureNs(ctx, func() error {
+		ref, err = ri.SolveGreedyRISContext(ctx, prob, sketch.SolveOptions{Alpha: 0.9})
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("reference ris solve: %w", err)
+	}
+	rep.Kernel = kernelReport{
+		BeforeNs:   beforeNs,
+		AfterNs:    afterNs,
+		Iterations: afterIters,
+		Speedup:    float64(beforeNs) / float64(afterNs),
+		Identical:  reflect.DeepEqual(ris, ref),
+	}
+	if !rep.Kernel.Identical {
+		return fmt.Errorf("perf: bitset selection diverged from the reference selector: %v vs %v",
+			ris.Protectors, ref.Protectors)
+	}
+	risSolveNs := time.Duration(afterNs)
 
 	mcJudge, err := judge(serial.Protectors)
 	if err != nil {
@@ -222,6 +325,46 @@ func runPerf(ctx context.Context, path string, scale float64, workers int, stdou
 	}
 	rep.SimReductionIncludingBuild = float64(mcSims) / float64(set.Samples)
 
+	// Adaptive legs: the martingale stopping rule on the benchmark
+	// instance and on a smaller one. The small instance must certify ε
+	// with fewer realizations — the point of adaptive sizing.
+	adaptiveLeg := func(name string, legScale float64, p *core.Problem, eps float64) (adaptiveReport, error) {
+		legStart := time.Now()
+		aset, err := sketch.BuildContext(ctx, p, sketch.Options{
+			Epsilon: eps, Seed: 7, Workers: workers,
+		})
+		if err != nil {
+			return adaptiveReport{}, fmt.Errorf("adaptive build (%s): %w", name, err)
+		}
+		return adaptiveReport{
+			Instance:        name,
+			Scale:           legScale,
+			NumEnds:         p.NumEnds(),
+			Epsilon:         aset.Epsilon,
+			Delta:           aset.Delta,
+			MaxSamples:      aset.MaxSamples,
+			RealizedSamples: aset.Samples,
+			StoppedEarly:    aset.Samples < aset.MaxSamples,
+			BoundMet:        aset.BoundMet,
+			BuildNs:         time.Since(legStart).Nanoseconds(),
+		}, nil
+	}
+	smallScale := scale * 0.4
+	_, smallProb, _, _, err := perfInstance(smallScale, seed)
+	if err != nil {
+		return fmt.Errorf("small adaptive instance: %w", err)
+	}
+	const adaptiveEps = 0.2
+	smallLeg, err := adaptiveLeg("hep-small", smallScale, smallProb, adaptiveEps)
+	if err != nil {
+		return err
+	}
+	benchLeg, err := adaptiveLeg("hep-bench", scale, prob, adaptiveEps)
+	if err != nil {
+		return err
+	}
+	rep.Adaptive = []adaptiveReport{smallLeg, benchLeg}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -235,6 +378,14 @@ func runPerf(ctx context.Context, path string, scale float64, workers int, stdou
 	fmt.Fprintf(stdout, "estimator bench: mc %d sims/solve vs ris %d build realizations + 0 sims/solve (%.0fx fewer incl. build); judge rel err mc %.3f, ris %.3f\n",
 		mcSims, set.Samples, rep.SimReductionIncludingBuild,
 		rep.Estimators[0].RelErrJudge, rep.Estimators[1].RelErrJudge)
+	fmt.Fprintf(stdout, "kernel bench: reference %v vs bitset %v per solve (%d iters): %.1fx, identical=%v\n",
+		time.Duration(rep.Kernel.BeforeNs).Round(time.Microsecond),
+		time.Duration(rep.Kernel.AfterNs).Round(time.Microsecond),
+		rep.Kernel.Iterations, rep.Kernel.Speedup, rep.Kernel.Identical)
+	for _, leg := range rep.Adaptive {
+		fmt.Fprintf(stdout, "adaptive bench: %s (|B|=%d) ε=%g stopped at %d/%d realizations, bound met=%v\n",
+			leg.Instance, leg.NumEnds, leg.Epsilon, leg.RealizedSamples, leg.MaxSamples, leg.BoundMet)
+	}
 	fmt.Fprintf(stderr, "perf: report written to %s\n", path)
 	return nil
 }

@@ -21,9 +21,22 @@ func TestDecodeSolveRequestBounds(t *testing.T) {
 		{"rumorFraction exactly one", `{"rumorFraction":1}`, ""},
 		{"rumorFraction zero defaults", `{"rumorFraction":0}`, ""},
 		{"rumorFraction in range", `{"rumorFraction":0.2}`, ""},
-		{"negative alpha", `{"alpha":-0.5}`, "alpha -0.5 out of (0,1]"},
-		{"alpha above one", `{"alpha":7}`, "alpha 7 out of (0,1]"},
-		{"alpha exactly one", `{"alpha":1}`, ""},
+		{"negative alpha", `{"alpha":-0.5}`, "alpha = -0.5 out of (0,1)"},
+		{"alpha above one", `{"alpha":7}`, "alpha = 7 out of (0,1)"},
+		// α's interval depends on the algorithm: the fractional solvers
+		// (auto/greedy/ris) reject α = 1 as a bad request — it used to
+		// clear decoding and surface from the solver as "internal" — while
+		// SCBG and the heuristics accept it (the paper's LCRB-D).
+		{"alpha exactly one rejected for auto", `{"alpha":1}`, "alpha = 1 out of (0,1)"},
+		{"alpha exactly one rejected for greedy", `{"algorithm":"greedy","alpha":1}`, "alpha = 1 out of (0,1)"},
+		{"alpha exactly one rejected for ris", `{"algorithm":"ris","alpha":1}`, "alpha = 1 out of (0,1)"},
+		{"alpha exactly one ok for scbg", `{"algorithm":"scbg","alpha":1}`, ""},
+		{"alpha exactly one ok for proximity", `{"algorithm":"proximity","alpha":1}`, ""},
+		{"alpha exactly one ok for maxdegree", `{"algorithm":"maxdegree","alpha":1}`, ""},
+		{"alpha above one rejected for scbg", `{"algorithm":"scbg","alpha":1.5}`, "alpha = 1.5 out of (0,1]"},
+		// NaN cannot be encoded in JSON at all, so the decoder rejects it
+		// before validation — still a bad_request, never an internal error.
+		{"alpha NaN rejected at decode", `{"alpha":NaN}`, "decode request"},
 		{"alpha zero defaults", `{"alpha":0}`, ""},
 		{"negative maxHops", `{"maxHops":-1}`, "maxHops -1 must not be negative"},
 		{"maxHops zero defaults", `{"maxHops":0}`, ""},

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -79,6 +80,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chaosSpec   = fs.String("chaos", "", "fault injection: stage:failon[/every][:panic],... (stages: load, sigma, checkpoint)")
 		portFile    = fs.String("port-file", "", "write the bound port here once listening (for scripts)")
 		sketchN     = fs.Int("sketch-samples", 128, "RR-set sketch realizations for the fast rung (0 disables it)")
+		sketchEps   = fs.Float64("sketch-eps", 0, "adaptive sketch sizing to relative error ε in (0,1); overrides -sketch-samples")
 		sketchDir   = fs.String("sketch-dir", "", "directory persisting built sketches across restarts")
 		tenantSpec  = fs.String("tenants", "", "per-tenant admission weights as name:weight,... (unlisted tenants weigh 1)")
 	)
@@ -87,6 +89,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *maxInflight < 1 {
 		return fmt.Errorf("-max-inflight %d must be positive", *maxInflight)
+	}
+	if math.IsNaN(*sketchEps) || *sketchEps < 0 || *sketchEps >= 1 {
+		return fmt.Errorf("-sketch-eps %v must be 0 (fixed sizing) or in (0,1)", *sketchEps)
 	}
 	chaos, err := parseChaos(*chaosSpec)
 	if err != nil {
@@ -110,6 +115,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxWaiting:     *maxWaiting,
 		checkpointDir:  *ckptDir,
 		sketchSamples:  *sketchN,
+		sketchEps:      *sketchEps,
 		sketchDir:      *sketchDir,
 		tenants:        tenants,
 	}, chaos, logf)

@@ -43,8 +43,12 @@ type serverConfig struct {
 	// by a drain.
 	checkpointDir string
 	// sketchSamples is the realization count of RR-set sketch builds for
-	// the ladder's fast rung; 0 disables the rung entirely.
+	// the ladder's fast rung; 0 disables the rung entirely (unless
+	// sketchEps enables it adaptively).
 	sketchSamples int
+	// sketchEps, when positive, sizes sketch builds adaptively to relative
+	// error ε instead of the fixed sketchSamples count.
+	sketchEps float64
 	// sketchDir, when set, persists built sketches across restarts.
 	sketchDir string
 	// tenants maps tenant names to admission weights (their deficit-round-
@@ -208,7 +212,7 @@ func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, ar
 			FailureThreshold: 3,
 			Cooldown:         2 * time.Second,
 		}),
-		sketches:  newSketchStore(cfg.sketchSamples, cfg.workers, cfg.sketchDir, logf),
+		sketches:  newSketchStore(cfg.sketchSamples, cfg.sketchEps, cfg.workers, cfg.sketchDir, logf),
 		flights:   resilience.NewGroup(hardDrain),
 		latencies: newLatencyWindow(512),
 		started:   time.Now(),
@@ -487,12 +491,6 @@ func decodeSolveRequest(body io.Reader, cfg serverConfig) (*resolvedRequest, err
 	if req.RumorFraction <= 0 || req.RumorFraction > 1 {
 		return nil, fmt.Errorf("rumorFraction %v out of (0,1]", req.RumorFraction)
 	}
-	if req.Alpha == 0 {
-		req.Alpha = 0.9
-	}
-	if req.Alpha <= 0 || req.Alpha > 1 {
-		return nil, fmt.Errorf("alpha %v out of (0,1]", req.Alpha)
-	}
 	if req.Algorithm == "" {
 		req.Algorithm = "auto"
 	}
@@ -500,6 +498,23 @@ func decodeSolveRequest(body io.Reader, cfg serverConfig) (*resolvedRequest, err
 	case "auto", "greedy", "ris", "scbg", "proximity", "maxdegree":
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q (want auto, greedy, ris, scbg, proximity or maxdegree)", req.Algorithm)
+	}
+	if req.Alpha == 0 {
+		req.Alpha = 0.9
+	}
+	// α's legal interval depends on the solver, so validate after the
+	// algorithm and with the exact core validators the solvers run: the
+	// fractional-target solvers reject α = 1 here as a bad_request instead
+	// of letting it surface from the solver as an internal error.
+	switch req.Algorithm {
+	case "scbg", "proximity", "maxdegree":
+		if err := core.ValidateAlphaClosed(req.Alpha); err != nil {
+			return nil, err
+		}
+	default: // auto, greedy, ris: fractional α·|B| targets need (0,1)
+		if err := core.ValidateAlphaOpen(req.Alpha); err != nil {
+			return nil, err
+		}
 	}
 	if req.Samples == 0 {
 		req.Samples = 10

@@ -27,6 +27,7 @@ import (
 // draw or horizon is counted stale and rebuilt, never served.
 type sketchStore struct {
 	samples int
+	eps     float64
 	workers int
 	dir     string
 	logf    func(format string, args ...any)
@@ -47,14 +48,16 @@ type sketchStore struct {
 	buildErrors atomic.Int64
 }
 
-// newSketchStore returns a store building samples-realization sketches, or
-// nil when samples is 0 (the RIS rung disabled).
-func newSketchStore(samples, workers int, dir string, logf func(format string, args ...any)) *sketchStore {
-	if samples <= 0 {
+// newSketchStore returns a store building samples-realization sketches —
+// or adaptively sized ones when eps is positive (eps overrides samples) —
+// or nil when both are 0 (the RIS rung disabled).
+func newSketchStore(samples int, eps float64, workers int, dir string, logf func(format string, args ...any)) *sketchStore {
+	if samples <= 0 && eps <= 0 {
 		return nil
 	}
 	return &sketchStore{
 		samples:  samples,
+		eps:      eps,
 		workers:  workers,
 		dir:      dir,
 		logf:     logf,
@@ -70,14 +73,20 @@ func (st *sketchStore) enabled() bool { return st != nil }
 // options derives the request's sketch build options. The seed offset
 // keeps sketch realizations independent of the greedy's σ̂ samples while
 // staying a pure function of the request, so equal requests hit equal
-// fingerprints.
+// fingerprints. With -sketch-eps set the build sizes itself adaptively;
+// otherwise the fixed -sketch-samples count applies.
 func (st *sketchStore) options(req *resolvedRequest) sketch.Options {
-	return sketch.Options{
-		Samples: st.samples,
+	opts := sketch.Options{
 		Seed:    req.Seed + 400,
 		MaxHops: req.MaxHops,
 		Workers: st.workers,
 	}
+	if st.eps > 0 {
+		opts.Epsilon = st.eps
+	} else {
+		opts.Samples = st.samples
+	}
+	return opts
 }
 
 // path is the on-disk location of a fingerprint's sketch.
@@ -188,6 +197,13 @@ func (st *sketchStore) drainBuilds() {
 func (st *sketchStore) stats() map[string]any {
 	st.mu.Lock()
 	entries := len(st.sets)
+	// realizedSamples totals the realization counts of the warm sketches —
+	// under -sketch-eps this is what the adaptive rule actually spent, the
+	// operator's view of the stopping rule at work.
+	realized := 0
+	for _, set := range st.sets {
+		realized += set.Samples
+	}
 	var newest time.Time
 	for _, at := range st.built {
 		if at.After(newest) {
@@ -196,12 +212,14 @@ func (st *sketchStore) stats() map[string]any {
 	}
 	st.mu.Unlock()
 	out := map[string]any{
-		"hits":        st.hits.Load(),
-		"misses":      st.misses.Load(),
-		"stale":       st.stale.Load(),
-		"builds":      st.builds.Load(),
-		"buildErrors": st.buildErrors.Load(),
-		"entries":     entries,
+		"hits":            st.hits.Load(),
+		"misses":          st.misses.Load(),
+		"stale":           st.stale.Load(),
+		"builds":          st.builds.Load(),
+		"buildErrors":     st.buildErrors.Load(),
+		"entries":         entries,
+		"realizedSamples": realized,
+		"adaptive":        st.eps > 0,
 	}
 	if !newest.IsZero() {
 		out["newestBuildAgeSeconds"] = time.Since(newest).Seconds()

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The repo used to validate α with ad-hoc comparisons at every layer, and
+// they disagreed: the daemon accepted (0,1] for every algorithm while the
+// greedy solvers reject α ≥ 1, so alpha=1 cleared the HTTP boundary and
+// surfaced as an internal error instead of a bad request — and NaN slipped
+// through all of them, because `alpha < 0 || alpha >= 1` is false for NaN.
+// These two validators are now the single source of truth; every solver
+// and the daemon's request decoder call one of them.
+
+// ValidateAlphaOpen rejects α outside the open interval (0, 1) — the
+// domain of the fractional-protection solvers (greedy, RIS), whose α·|B|
+// target is meaningless at the endpoints. NaN is rejected explicitly.
+func ValidateAlphaOpen(alpha float64) error {
+	if math.IsNaN(alpha) || alpha <= 0 || alpha >= 1 {
+		return fmt.Errorf("core: alpha = %v out of (0,1)", alpha)
+	}
+	return nil
+}
+
+// ValidateAlphaClosed rejects α outside the half-open interval (0, 1] —
+// the domain of SCBG and the heuristics, where α = 1 (protect every
+// bridge end, the paper's LCRB-D) is legal. NaN is rejected explicitly.
+func ValidateAlphaClosed(alpha float64) error {
+	if math.IsNaN(alpha) || alpha <= 0 || alpha > 1 {
+		return fmt.Errorf("core: alpha = %v out of (0,1]", alpha)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValidateAlphaOpen sweeps the open-interval validator's boundaries.
+// The NaN rows are the regression for the original bug: every ad-hoc
+// comparison of the form `alpha < 0 || alpha >= 1` is false for NaN, so a
+// NaN α sailed through validation and poisoned the α·|B| target.
+func TestValidateAlphaOpen(t *testing.T) {
+	for _, alpha := range []float64{0.001, 0.5, 0.999} {
+		if err := ValidateAlphaOpen(alpha); err != nil {
+			t.Errorf("ValidateAlphaOpen(%v) = %v, want ok", alpha, err)
+		}
+	}
+	for _, alpha := range []float64{math.NaN(), -0.5, 0, 1, 1.5, math.Inf(1), math.Inf(-1)} {
+		if err := ValidateAlphaOpen(alpha); err == nil {
+			t.Errorf("ValidateAlphaOpen(%v) accepted", alpha)
+		}
+	}
+}
+
+// TestValidateAlphaClosed sweeps the half-open validator: α = 1 (the
+// paper's LCRB-D) is legal here, everything else matches the open case.
+func TestValidateAlphaClosed(t *testing.T) {
+	for _, alpha := range []float64{0.001, 0.5, 1} {
+		if err := ValidateAlphaClosed(alpha); err != nil {
+			t.Errorf("ValidateAlphaClosed(%v) = %v, want ok", alpha, err)
+		}
+	}
+	for _, alpha := range []float64{math.NaN(), -0.5, 0, 1.0000001, 2, math.Inf(1)} {
+		if err := ValidateAlphaClosed(alpha); err == nil {
+			t.Errorf("ValidateAlphaClosed(%v) accepted", alpha)
+		}
+	}
+}
+
+// TestSolversRejectNaNAlpha pins the validators into the solvers that used
+// to let NaN through.
+func TestSolversRejectNaNAlpha(t *testing.T) {
+	p := fixtureProblem(t)
+	if _, err := Greedy(p, GreedyOptions{Alpha: math.NaN()}); err == nil {
+		t.Fatal("Greedy accepted NaN alpha")
+	}
+	if _, err := SCBG(p, SCBGOptions{Alpha: math.NaN()}); err == nil {
+		t.Fatal("SCBG accepted NaN alpha")
+	}
+}

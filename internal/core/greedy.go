@@ -180,8 +180,8 @@ func GreedyContext(ctx context.Context, p *Problem, opts GreedyOptions) (*Greedy
 	if opts.Alpha == 0 {
 		opts.Alpha = 0.9
 	}
-	if opts.Alpha < 0 || opts.Alpha >= 1 {
-		return nil, fmt.Errorf("core: greedy: alpha = %v out of (0,1)", opts.Alpha)
+	if err := ValidateAlphaOpen(opts.Alpha); err != nil {
+		return nil, fmt.Errorf("core: greedy: %w", err)
 	}
 	if opts.Samples == 0 {
 		opts.Samples = 30

@@ -67,8 +67,8 @@ func SCBGContext(ctx context.Context, p *Problem, opts SCBGOptions) (*SCBGResult
 	if opts.Alpha == 0 {
 		opts.Alpha = 1
 	}
-	if opts.Alpha < 0 || opts.Alpha > 1 {
-		return nil, fmt.Errorf("core: SCBG: alpha = %v out of (0,1]", opts.Alpha)
+	if err := ValidateAlphaClosed(opts.Alpha); err != nil {
+		return nil, fmt.Errorf("core: SCBG: %w", err)
 	}
 	if len(p.Ends) == 0 {
 		return nil, ErrNoBridgeEnds

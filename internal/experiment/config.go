@@ -11,6 +11,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 
 	"lcrb/internal/gen"
 )
@@ -72,8 +73,18 @@ type Config struct {
 	// sketches).
 	Estimator Estimator
 	// RISSamples is the realization count of EstimatorRIS sketch builds;
-	// ignored under EstimatorMC. 0 means the sketch package default.
+	// ignored under EstimatorMC. Positive values override RISEpsilon. 0
+	// means: the sketch package default, unless RISEpsilon selects
+	// adaptive sizing.
 	RISSamples int
+	// RISEpsilon, when positive with RISSamples zero, sizes EstimatorRIS
+	// sketch builds adaptively to relative error ε in (0,1) (the
+	// martingale stopping rule of internal/sketch). Ignored under
+	// EstimatorMC.
+	RISEpsilon float64
+	// RISDelta is the adaptive build's failure probability in (0,1); 0
+	// means the sketch package default. Only meaningful with RISEpsilon.
+	RISDelta float64
 	// Workers parallelizes σ̂ evaluation inside the LCRB-P greedy (see
 	// core.GreedyOptions.Workers): 0 or 1 means serial, negative means
 	// GOMAXPROCS. Results are bit-identical for every worker count, so
@@ -133,6 +144,12 @@ func (c Config) validate() error {
 	}
 	if c.RISSamples < 0 {
 		return fmt.Errorf("experiment: ris samples = %d must not be negative", c.RISSamples)
+	}
+	if math.IsNaN(c.RISEpsilon) || c.RISEpsilon < 0 || c.RISEpsilon >= 1 {
+		return fmt.Errorf("experiment: ris epsilon = %v out of (0,1)", c.RISEpsilon)
+	}
+	if math.IsNaN(c.RISDelta) || c.RISDelta < 0 || c.RISDelta >= 1 {
+		return fmt.Errorf("experiment: ris delta = %v out of (0,1)", c.RISDelta)
 	}
 	return nil
 }

@@ -89,6 +89,8 @@ func RunFigureOPOAOContext(ctx context.Context, inst *Instance) (*FigureResult, 
 			case EstimatorRIS:
 				set, err := sketch.BuildContext(ctx, prob, sketch.Options{
 					Samples: cfg.RISSamples,
+					Epsilon: cfg.RISEpsilon,
+					Delta:   cfg.RISDelta,
 					Seed:    cfg.Seed + 3,
 					MaxHops: cfg.Hops,
 					Workers: cfg.Workers,

@@ -335,3 +335,27 @@ func TestRunFigureOPOAOWithRISEstimator(t *testing.T) {
 		t.Fatalf("RIS greedy final infected %.1f worse than NoBlocking %.1f", final, none)
 	}
 }
+
+// TestRunFigureOPOAOWithAdaptiveRIS drives the same figure through the
+// adaptive sketch sizing path: RISEpsilon instead of RISSamples.
+func TestRunFigureOPOAOWithAdaptiveRIS(t *testing.T) {
+	cfg := smallOPOAOConfig()
+	cfg.Name = "fig4-ris-adaptive-test"
+	cfg.Estimator = EstimatorRIS
+	cfg.RISEpsilon = 0.3
+	inst, err := Setup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := RunFigureOPOAO(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := fr.Panels[0]
+	if _, ok := panel.Series[AlgoGreedy]; !ok {
+		t.Fatal("missing Greedy series under the adaptive RIS estimator")
+	}
+	if panel.NumEnds > 0 && panel.Protectors[AlgoGreedy] == 0 {
+		t.Fatal("adaptive RIS estimator selected no protectors despite bridge ends")
+	}
+}

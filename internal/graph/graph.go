@@ -29,6 +29,12 @@ type Graph struct {
 	outAdj []int32 // len numEdges, sorted within each node's range
 	inOff  []int64
 	inAdj  []int32
+
+	// allowSelfLoops records the Builder policy the graph was built under,
+	// so derived graphs (Reverse, Symmetrize, Induce) keep self-loops a
+	// permissive graph legitimately contains instead of silently dropping
+	// them through a default Builder.
+	allowSelfLoops bool
 }
 
 // NumNodes returns the number of nodes.
@@ -59,6 +65,10 @@ func (g *Graph) InDegree(v NodeID) int32 {
 	return int32(g.inOff[v+1] - g.inOff[v])
 }
 
+// AllowsSelfLoops reports whether the graph was built under the
+// AllowSelfLoops policy; derived graphs inherit it.
+func (g *Graph) AllowsSelfLoops() bool { return g.allowSelfLoops }
+
 // HasEdge reports whether the directed edge (u, v) exists.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	adj := g.Out(u)
@@ -69,12 +79,13 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 // Reverse returns a new graph with every edge direction flipped.
 func (g *Graph) Reverse() *Graph {
 	return &Graph{
-		numNodes: g.numNodes,
-		numEdges: g.numEdges,
-		outOff:   g.inOff,
-		outAdj:   g.inAdj,
-		inOff:    g.outOff,
-		inAdj:    g.outAdj,
+		numNodes:       g.numNodes,
+		numEdges:       g.numEdges,
+		outOff:         g.inOff,
+		outAdj:         g.inAdj,
+		inOff:          g.outOff,
+		inAdj:          g.outAdj,
+		allowSelfLoops: g.allowSelfLoops,
 	}
 }
 
@@ -101,6 +112,9 @@ func (g *Graph) Edges() []Edge {
 // directed edges (i,j) and (j,i)").
 func (g *Graph) Symmetrize() *Graph {
 	b := NewBuilder(g.numNodes)
+	if g.allowSelfLoops {
+		b.AllowSelfLoops()
+	}
 	for u := int32(0); u < g.numNodes; u++ {
 		for _, v := range g.Out(u) {
 			b.AddEdge(u, v)
@@ -144,6 +158,9 @@ func (g *Graph) Induce(nodes []int32) (*Subgraph, error) {
 		}
 	}
 	b := NewBuilder(int32(len(toParent)))
+	if g.allowSelfLoops {
+		b.AllowSelfLoops()
+	}
 	for local, parent := range toParent {
 		for _, v := range g.Out(parent) {
 			if lv := toLocal[v]; lv >= 0 {
@@ -165,6 +182,9 @@ type Builder struct {
 	numNodes       int32
 	edges          []Edge
 	allowSelfLoops bool
+	// dropped counts edges AddEdge refused (negative endpoints); see
+	// Dropped.
+	dropped int64
 }
 
 // NewBuilder returns a Builder for a graph with numNodes nodes.
@@ -190,9 +210,12 @@ func (b *Builder) Grow(numNodes int32) {
 
 // AddEdge records the directed edge (u, v). Endpoints extend the node space
 // if needed, so callers may build graphs without knowing N up front.
+// Edges with negative identifiers are ignored and counted; Dropped reports
+// the running total.
 func (b *Builder) AddEdge(u, v NodeID) {
 	if u < 0 || v < 0 {
-		return // negative identifiers are silently ignored; Build reports counts
+		b.dropped++
+		return
 	}
 	if u >= b.numNodes {
 		b.numNodes = u + 1
@@ -206,6 +229,11 @@ func (b *Builder) AddEdge(u, v NodeID) {
 // NumPendingEdges returns the number of edges recorded so far, before
 // deduplication.
 func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Dropped returns the number of edges AddEdge ignored because an endpoint
+// was negative. The count accumulates across Build calls, matching the
+// Builder's reuse contract.
+func (b *Builder) Dropped() int64 { return b.dropped }
 
 // Build produces the immutable graph. The Builder may be reused afterwards;
 // its recorded edges are retained.
@@ -237,12 +265,13 @@ func (b *Builder) Build() (*Graph, error) {
 	edges = dedup
 
 	g := &Graph{
-		numNodes: b.numNodes,
-		numEdges: int64(len(edges)),
-		outOff:   make([]int64, b.numNodes+1),
-		outAdj:   make([]int32, len(edges)),
-		inOff:    make([]int64, b.numNodes+1),
-		inAdj:    make([]int32, len(edges)),
+		numNodes:       b.numNodes,
+		numEdges:       int64(len(edges)),
+		outOff:         make([]int64, b.numNodes+1),
+		outAdj:         make([]int32, len(edges)),
+		inOff:          make([]int64, b.numNodes+1),
+		inAdj:          make([]int32, len(edges)),
+		allowSelfLoops: b.allowSelfLoops,
 	}
 
 	// Counting pass for both directions.

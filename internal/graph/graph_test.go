@@ -142,6 +142,35 @@ func TestBuilderIgnoresNegativeEndpoints(t *testing.T) {
 	if g.NumEdges() != 1 {
 		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
 	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", b.Dropped())
+	}
+}
+
+func TestBuilderDroppedAccumulatesAcrossBuilds(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(-1, 0)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	b.AddEdge(0, -1)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2 (the counter follows the Builder's reuse contract)", b.Dropped())
+	}
+}
+
+func TestBuilderDroppedZeroOnCleanInput(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", b.Dropped())
+	}
 }
 
 func TestHasEdge(t *testing.T) {
@@ -246,6 +275,67 @@ func TestSymmetrize(t *testing.T) {
 	want := []Edge{{0, 1}, {1, 0}, {1, 2}, {2, 1}}
 	if !reflect.DeepEqual(s.Edges(), want) {
 		t.Fatalf("Symmetrize edges = %v, want %v", s.Edges(), want)
+	}
+}
+
+// selfLoopGraph builds a permissive graph with a self-loop for the
+// propagation tests.
+func selfLoopGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3).AllowSelfLoops()
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSymmetrizePreservesSelfLoops(t *testing.T) {
+	g := selfLoopGraph(t)
+	s := g.Symmetrize()
+	if !s.HasEdge(0, 0) {
+		t.Fatal("Symmetrize dropped the self-loop of an AllowSelfLoops graph")
+	}
+	if !s.AllowsSelfLoops() {
+		t.Fatal("Symmetrize lost the AllowSelfLoops policy")
+	}
+	want := []Edge{{0, 0}, {0, 1}, {1, 0}, {1, 2}, {2, 1}}
+	if !reflect.DeepEqual(s.Edges(), want) {
+		t.Fatalf("Symmetrize edges = %v, want %v", s.Edges(), want)
+	}
+}
+
+func TestInducePreservesSelfLoops(t *testing.T) {
+	g := selfLoopGraph(t)
+	sub, err := g.Induce([]int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Graph.HasEdge(0, 0) {
+		t.Fatal("Induce dropped the self-loop of an AllowSelfLoops graph")
+	}
+	if !sub.Graph.AllowsSelfLoops() {
+		t.Fatal("Induce lost the AllowSelfLoops policy")
+	}
+}
+
+func TestReversePreservesSelfLoopPolicy(t *testing.T) {
+	g := selfLoopGraph(t)
+	r := g.Reverse()
+	if !r.AllowsSelfLoops() {
+		t.Fatal("Reverse lost the AllowSelfLoops policy")
+	}
+	if !r.HasEdge(0, 0) {
+		t.Fatal("Reverse lost the self-loop")
+	}
+	// The round trip through Symmetrize must also hold on the reversed
+	// graph — the original bug site was the fresh Builder inside the
+	// derivation helpers.
+	if !r.Symmetrize().HasEdge(0, 0) {
+		t.Fatal("Reverse+Symmetrize dropped the self-loop")
 	}
 }
 

@@ -19,12 +19,19 @@ type EdgeList struct {
 	// Labels maps dense node identifiers back to the external identifiers
 	// found in the input.
 	Labels []int64
+	// Dropped counts well-formed edge lines ignored because an endpoint
+	// was negative (plus any edges the Builder itself refused). Malformed
+	// lines are still hard errors; a negative identifier is a data quirk
+	// real exports contain, so it is skipped and accounted for rather than
+	// failing the whole file.
+	Dropped int64
 }
 
 // ReadEdgeList parses a whitespace-separated directed edge list in the SNAP
 // style: one "source target" pair per line, with '#' starting a comment.
 // External identifiers may be arbitrary non-negative integers; they are
-// remapped to dense identifiers in first-seen order.
+// remapped to dense identifiers in first-seen order. Lines with negative
+// identifiers are dropped and counted in EdgeList.Dropped.
 func ReadEdgeList(r io.Reader) (*EdgeList, error) {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -42,6 +49,7 @@ func ReadEdgeList(r io.Reader) (*EdgeList, error) {
 	}
 
 	b := NewBuilder(0)
+	dropped := int64(0)
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
@@ -65,7 +73,8 @@ func ReadEdgeList(r io.Reader) (*EdgeList, error) {
 			return nil, fmt.Errorf("graph: line %d: bad target %q: %w", lineNo, fields[1], err)
 		}
 		if u < 0 || v < 0 {
-			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+			dropped++ // counted before interning: no label space for ids we refuse
+			continue
 		}
 		b.AddEdge(intern(u), intern(v))
 	}
@@ -76,7 +85,7 @@ func ReadEdgeList(r io.Reader) (*EdgeList, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EdgeList{Graph: g, Labels: labels}, nil
+	return &EdgeList{Graph: g, Labels: labels, Dropped: dropped + b.Dropped()}, nil
 }
 
 // ReadEdgeListFile is ReadEdgeList over the named file.

@@ -54,7 +54,6 @@ func TestReadEdgeListErrors(t *testing.T) {
 		{"single field", "42\n"},
 		{"bad source", "x 1\n"},
 		{"bad target", "1 y\n"},
-		{"negative id", "-3 1\n"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -62,6 +61,39 @@ func TestReadEdgeListErrors(t *testing.T) {
 				t.Fatalf("input %q parsed without error", tt.in)
 			}
 		})
+	}
+}
+
+func TestReadEdgeListDropsNegativeIDs(t *testing.T) {
+	// Negative identifiers are a data quirk, not a parse error: the lines
+	// are skipped and counted, the rest of the file parses normally, and
+	// no label space is wasted on the refused identifiers.
+	in := "0 1\n-3 1\n2 -7\n1 2\n"
+	el, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", el.Dropped)
+	}
+	if el.Graph.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", el.Graph.NumEdges())
+	}
+	// Dropped lines intern nothing: -3 and -7 never enter the label
+	// space, and neither does an otherwise-valid endpoint on a dropped
+	// line until a clean line mentions it.
+	if !reflect.DeepEqual(el.Labels, []int64{0, 1, 2}) {
+		t.Fatalf("labels = %v, want [0 1 2]", el.Labels)
+	}
+}
+
+func TestReadEdgeListCleanInputDropsNothing(t *testing.T) {
+	el, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0", el.Dropped)
 	}
 }
 

@@ -1,0 +1,275 @@
+package sketch
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// adaptiveTestOptions is the adaptive build the suite exercises most: a
+// loose ε that a small instance satisfies well before DefaultMaxSamples.
+var adaptiveTestOptions = Options{Epsilon: 0.3, Seed: 11}
+
+// TestAdaptiveBuildStopsEarly pins the headline behaviour: on a small
+// instance the stopping rule certifies ε long before the growth cap, so
+// the build realizes far fewer samples than MaxSamples and records the
+// rule that sized it.
+func TestAdaptiveBuildStopsEarly(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	set, err := Build(p, adaptiveTestOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.BoundMet {
+		t.Fatal("stopping rule not met on the easy instance")
+	}
+	if set.Samples >= DefaultMaxSamples {
+		t.Fatalf("realized %d samples, expected an early stop below the %d cap",
+			set.Samples, DefaultMaxSamples)
+	}
+	if set.Samples < adaptiveStartSamples {
+		t.Fatalf("realized %d samples, below the start round %d", set.Samples, adaptiveStartSamples)
+	}
+	// The Set records the sizing rule with defaults filled in.
+	if set.Epsilon != 0.3 || set.Delta != DefaultDelta || set.MaxSamples != DefaultMaxSamples {
+		t.Fatalf("recorded rule = (ε=%v, δ=%v, max=%d)", set.Epsilon, set.Delta, set.MaxSamples)
+	}
+	// λ sanity: the realized count actually satisfies N·x̂ ≥ λ, re-derived
+	// here from first principles rather than trusted from the build.
+	xhat, err := adaptiveCoverFraction(context.Background(), p, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 1
+	for m := adaptiveStartSamples; m < DefaultMaxSamples; m *= 2 {
+		rounds++
+	}
+	if lambda := adaptiveLambda(0.3, DefaultDelta/float64(rounds)); float64(set.Samples)*xhat < lambda {
+		t.Fatalf("stopped at N=%d with N·x̂ = %.1f < λ = %.1f", set.Samples, float64(set.Samples)*xhat, lambda)
+	}
+}
+
+// TestAdaptiveBuildBitIdenticalAcrossWorkers extends the PR-3 determinism
+// discipline to the adaptive path: the doubling rounds, the stopping
+// decision and the final Set — through Save bytes — must not depend on
+// Workers. Run under -race in CI's bit-identity step.
+func TestAdaptiveBuildBitIdenticalAcrossWorkers(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	var ref *Set
+	var refBytes []byte
+	dir := t.TempDir()
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0), -1} {
+		o := adaptiveTestOptions
+		o.Workers = w
+		set, err := Build(p, o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		path := filepath.Join(dir, "sketch.json")
+		if err := Save(path, set); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refBytes = set, data
+			continue
+		}
+		if !reflect.DeepEqual(set, ref) {
+			t.Fatalf("workers=%d built a different adaptive sketch than workers=1", w)
+		}
+		if string(data) != string(refBytes) {
+			t.Fatalf("workers=%d saved different bytes than workers=1", w)
+		}
+	}
+}
+
+// TestAdaptiveEqualsFixedPrefix pins the prefix-extension contract: an
+// adaptive build that settles on N realizations holds exactly the pairs a
+// fixed Samples=N build draws, because both consume the same sequential
+// seed stream.
+func TestAdaptiveEqualsFixedPrefix(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	adaptive, err := Build(p, adaptiveTestOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Build(p, Options{Samples: adaptive.Samples, Seed: adaptiveTestOptions.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(adaptive.Pairs, fixed.Pairs) {
+		t.Fatal("adaptive pairs differ from the fixed build at the same realization count")
+	}
+	if adaptive.BaselinePairs != fixed.BaselinePairs {
+		t.Fatalf("baseline pairs %d != fixed build's %d", adaptive.BaselinePairs, fixed.BaselinePairs)
+	}
+	// The sizing rules differ, so the fingerprints must too — a store can
+	// never serve an adaptive sketch to a fixed-sizing request or vice versa.
+	if adaptive.Fingerprint == fixed.Fingerprint {
+		t.Fatal("adaptive and fixed builds share a fingerprint")
+	}
+	// And the solves agree, since selection is a pure function of Pairs.
+	a, err := SolveGreedyRIS(p, adaptive, SolveOptions{Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := SolveGreedyRIS(p, fixed, SolveOptions{Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, f) {
+		t.Fatal("adaptive and fixed sketches solved differently")
+	}
+}
+
+// TestAdaptiveMaxSamplesCapHonest pins the failure honesty: when the cap
+// cuts growth before the bound holds, the Set says so instead of
+// pretending the ε target was certified.
+func TestAdaptiveMaxSamplesCapHonest(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	// ε = 0.05 needs λ ≈ 5600 realizations' worth of coverage mass; a cap
+	// of 64 cannot reach it.
+	set, err := Build(p, Options{Epsilon: 0.05, MaxSamples: 64, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Samples != 64 {
+		t.Fatalf("realized %d samples, want the cap 64", set.Samples)
+	}
+	if set.BoundMet {
+		t.Fatal("BoundMet claimed with growth cut off at the cap")
+	}
+	if set.MaxSamples != 64 {
+		t.Fatalf("recorded cap = %d, want 64", set.MaxSamples)
+	}
+	// A capped sketch is still a valid fixed-quality sketch: it validates
+	// and solves normally.
+	if err := set.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveGreedyRIS(p, set, SolveOptions{Alpha: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveCapBelowStartRound covers the degenerate cap: MaxSamples
+// smaller than the first doubling round clamps the start.
+func TestAdaptiveCapBelowStartRound(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	set, err := Build(p, Options{Epsilon: 0.3, MaxSamples: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Samples != 8 {
+		t.Fatalf("realized %d samples, want the cap 8", set.Samples)
+	}
+}
+
+// TestAdaptiveStoreRoundTrip runs an adaptive sketch through Save/Load:
+// the loaded Set must reproduce the built one field for field (index
+// included — it is rebuilt as a pure function of Pairs), revalidate
+// against the problem, and serve solves.
+func TestAdaptiveStoreRoundTrip(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	set, err := Build(p, adaptiveTestOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "adaptive.json")
+	if err := Save(path, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, set.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, set) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, set)
+	}
+	if err := got.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	want, err := SolveGreedyRIS(p, set, SolveOptions{Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveGreedyRIS(p, got, SolveOptions{Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatal("loaded sketch solved differently than the built one")
+	}
+}
+
+// TestAdaptiveFingerprintSensitivity pins the adaptive fingerprint to its
+// knobs: ε, δ, the growth cap and the seed all change it, defaults
+// normalize, and fixed-sizing fingerprints live in a disjoint namespace.
+func TestAdaptiveFingerprintSensitivity(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	base := Fingerprint(p, Options{Epsilon: 0.3, Seed: 9})
+	if normalized := Fingerprint(p, Options{
+		Epsilon: 0.3, Seed: 9, Delta: DefaultDelta, MaxSamples: DefaultMaxSamples, MaxHops: 31,
+	}); normalized != base {
+		t.Fatalf("defaults not normalized:\n%s\n%s", base, normalized)
+	}
+	for name, opts := range map[string]Options{
+		"epsilon": {Epsilon: 0.2, Seed: 9},
+		"delta":   {Epsilon: 0.3, Delta: 0.01, Seed: 9},
+		"cap":     {Epsilon: 0.3, MaxSamples: 64, Seed: 9},
+		"seed":    {Epsilon: 0.3, Seed: 10},
+		"hops":    {Epsilon: 0.3, Seed: 9, MaxHops: 5},
+		"fixed":   {Samples: DefaultSamples, Seed: 9},
+	} {
+		if fp := Fingerprint(p, opts); fp == base {
+			t.Errorf("%s variant shares the base fingerprint %s", name, fp)
+		}
+	}
+}
+
+// TestBuildRejectsBadAdaptiveOptions sweeps the ε/δ/cap validation,
+// including the NaN rows that motivated the shared alpha validator: a
+// plain range check is false for NaN.
+func TestBuildRejectsBadAdaptiveOptions(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	for name, opts := range map[string]Options{
+		"nan epsilon":      {Epsilon: math.NaN()},
+		"negative epsilon": {Epsilon: -0.1},
+		"epsilon one":      {Epsilon: 1},
+		"nan delta":        {Epsilon: 0.3, Delta: math.NaN()},
+		"negative delta":   {Epsilon: 0.3, Delta: -0.1},
+		"delta one":        {Epsilon: 0.3, Delta: 1},
+		"negative cap":     {Epsilon: 0.3, MaxSamples: -1},
+	} {
+		if _, err := Build(p, opts); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestFixedSamplesOverridesEpsilon pins the precedence rule: a positive
+// Samples wins outright, producing a fixed-mode Set with zeroed adaptive
+// fields and the fixed-mode fingerprint.
+func TestFixedSamplesOverridesEpsilon(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	set, err := Build(p, Options{Samples: 32, Epsilon: 0.3, Delta: 0.01, MaxSamples: 999, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Samples != 32 {
+		t.Fatalf("Samples = %d, want the fixed 32", set.Samples)
+	}
+	if set.Epsilon != 0 || set.Delta != 0 || set.MaxSamples != 0 || set.BoundMet {
+		t.Fatalf("adaptive fields leaked into a fixed build: %+v", set)
+	}
+	if want := Fingerprint(p, Options{Samples: 32, Seed: 9}); set.Fingerprint != want {
+		t.Fatalf("fingerprint = %s, want fixed-mode %s", set.Fingerprint, want)
+	}
+}

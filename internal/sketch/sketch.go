@@ -14,7 +14,16 @@
 //	σ̂(S) = (baseline-safe pairs + pairs whose RR set intersects S) / N,
 //
 // and a whole greedy solve costs zero diffusion simulations. Build once,
-// answer many solves cheaply.
+// answer many solves cheaply. Coverage counting runs on packed bitset
+// kernels (see bitset.go): the pairs covered so far are one bit each, the
+// node → pair inversion is CSR slices, and σ̂ queries and lazy-greedy
+// recounts are word-parallel AND-NOT popcounts with zero allocations per
+// query.
+//
+// N itself is either fixed (Options.Samples) or chosen adaptively
+// (Options.Epsilon/Delta): the adaptive build grows the realization pool
+// in doubling rounds until a martingale stopping condition certifies the
+// estimate to relative error ε with probability 1−δ; see adaptive.go.
 //
 // # Sampler semantics
 //
@@ -42,12 +51,15 @@
 // function of (realization seed, problem), and workers write into
 // per-realization slots that are assembled in realization order. A
 // completed build is bit-identical for every Workers value, byte for byte
-// through Save.
+// through Save. The adaptive build extends the same sequential seed stream
+// round by round, so an adaptive sketch that stops at N realizations holds
+// exactly the Pairs a fixed Samples=N build would.
 package sketch
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -58,16 +70,17 @@ import (
 	"lcrb/internal/rng"
 )
 
-// DefaultSamples is the default realization count of a build. RR coverage
-// counts average over realizations exactly like Monte-Carlo σ̂ averages
-// over samples; more realizations tighten the estimate at linear build
-// cost and zero per-solve cost.
+// DefaultSamples is the default realization count of a fixed build. RR
+// coverage counts average over realizations exactly like Monte-Carlo σ̂
+// averages over samples; more realizations tighten the estimate at linear
+// build cost and zero per-solve cost.
 const DefaultSamples = 128
 
 // Options tunes a sketch build.
 type Options struct {
-	// Samples is the number of fixed realizations sampled. Defaults to
-	// DefaultSamples; negative is an error.
+	// Samples is the number of fixed realizations sampled. When positive
+	// it overrides the adaptive rule entirely. Zero means: DefaultSamples,
+	// unless Epsilon selects the adaptive build. Negative is an error.
 	Samples int
 	// Seed drives the realization seeds; the same seed reproduces the
 	// build bit for bit.
@@ -88,6 +101,18 @@ type Options struct {
 	// Fault, when non-nil, injects a failure per sampled realization on
 	// the fault's schedule, for testing build error paths.
 	Fault *diffusion.Fault
+
+	// Epsilon, when positive with Samples zero, selects the adaptive
+	// build: realizations grow in doubling rounds until the martingale
+	// stopping rule certifies relative error ε (see adaptive.go). Must be
+	// in (0, 1).
+	Epsilon float64
+	// Delta is the adaptive build's failure probability, in (0, 1).
+	// Defaults to DefaultDelta. Ignored on fixed builds.
+	Delta float64
+	// MaxSamples caps the adaptive build's growth. Defaults to
+	// DefaultMaxSamples. Ignored on fixed builds.
+	MaxSamples int
 }
 
 // Pair is one (realization, bridge end) sample whose fate depends on the
@@ -107,14 +132,18 @@ type Pair struct {
 // Set is a built sketch: everything needed to answer σ̂ queries for one
 // problem without running another diffusion simulation.
 type Set struct {
-	// Samples, Seed and MaxHops echo the build options.
+	// Samples is the realized number of sampled realizations — the fixed
+	// count on fixed builds, the count the stopping rule settled on for
+	// adaptive builds. Seed and MaxHops echo the build options.
 	Samples int    `json:"samples"`
 	Seed    uint64 `json:"seed"`
 	MaxHops int    `json:"maxHops"`
 	// NumEnds is |B| of the problem the sketch was built for.
 	NumEnds int `json:"numEnds"`
-	// Fingerprint binds the sketch to (graph, rumor set, ends, model,
-	// seed, samples, hops); see Fingerprint.
+	// Fingerprint binds the sketch to (graph, rumor set, ends, model) and
+	// to whichever sizing rule produced it — (seed, samples, hops) for
+	// fixed builds, (seed, ε, δ, max samples, hops) for adaptive ones; see
+	// Fingerprint.
 	Fingerprint string `json:"fingerprint"`
 	// BaselinePairs counts the (realization, end) pairs the rumor never
 	// reaches within MaxHops — saved under every protector set, the
@@ -123,9 +152,20 @@ type Set struct {
 	// Pairs holds the coverable pairs in (realization, end) order.
 	Pairs []Pair `json:"pairs"`
 
-	// byNode inverts Pairs: for each node, the indices of the pairs whose
-	// RR set contains it. Rebuilt on load, never serialized.
-	byNode map[int32][]int32
+	// Epsilon, Delta and MaxSamples record the adaptive build's stopping
+	// rule; all zero on fixed builds (and omitted from the store, keeping
+	// fixed-build store bytes unchanged across versions). BoundMet reports
+	// whether the stopping condition held when growth ended — false means
+	// the build ran into MaxSamples first and the ε target is not
+	// certified.
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	MaxSamples int     `json:"maxSamples,omitempty"`
+	BoundMet   bool    `json:"boundMet,omitempty"`
+
+	// index inverts Pairs into CSR rows with bitset kernels (bitset.go).
+	// A pure function of Pairs: rebuilt on load, never serialized.
+	index *pairIndex
 }
 
 // Sigma estimates σ̂(S) from the sketch: the expected number of bridge
@@ -138,36 +178,32 @@ func (s *Set) Sigma(protectors []int32) float64 {
 	return float64(s.BaselinePairs+s.coveredPairs(protectors)) / float64(s.Samples)
 }
 
-// coveredPairs counts the pairs whose RR set intersects S.
+// coveredPairs counts the pairs whose RR set intersects S: OR each
+// protector's pair row into one covered bitset, then popcount.
 func (s *Set) coveredPairs(protectors []int32) int {
-	covered := make(map[int32]bool)
+	if s.index == nil || s.index.numPairs == 0 {
+		return 0
+	}
+	covered := NewBitset(s.index.numPairs)
 	for _, u := range protectors {
-		for _, pi := range s.byNode[u] {
-			covered[pi] = true
+		if r := s.index.row(u); r >= 0 {
+			s.index.commit(r, covered)
 		}
 	}
-	return len(covered)
+	return covered.Count()
 }
 
 // Candidates returns every node that appears in at least one RR set,
 // sorted ascending — the nodes with any marginal value under the sketch.
 func (s *Set) Candidates() []int32 {
-	out := make([]int32, 0, len(s.byNode))
-	for u := range s.byNode {
-		out = append(out, u)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]int32, len(s.index.nodes))
+	copy(out, s.index.nodes)
 	return out
 }
 
 // buildIndex (re)builds the node → pair inversion.
 func (s *Set) buildIndex() {
-	s.byNode = make(map[int32][]int32)
-	for pi, pair := range s.Pairs {
-		for _, u := range pair.Nodes {
-			s.byNode[u] = append(s.byNode[u], int32(pi))
-		}
-	}
+	s.index = newPairIndex(s.Pairs)
 }
 
 // Build samples the sketch for p; see BuildContext.
@@ -180,15 +216,41 @@ func Build(p *core.Problem, opts Options) (*Set, error) {
 // realization. Builds are all-or-nothing: on cancellation, budget expiry
 // or a sampling failure the error is returned and no Set — a truncated
 // sketch would bias every later estimate.
+//
+// Sizing: Samples > 0 builds exactly that many realizations. Samples == 0
+// with Epsilon > 0 runs the adaptive doubling build of adaptive.go. Both
+// zero builds DefaultSamples.
 func BuildContext(ctx context.Context, p *core.Problem, opts Options) (*Set, error) {
 	if p == nil {
 		return nil, fmt.Errorf("sketch: build: nil problem")
 	}
-	if opts.Samples == 0 {
-		opts.Samples = DefaultSamples
-	}
 	if opts.Samples < 0 {
 		return nil, fmt.Errorf("sketch: build: samples = %d must not be negative", opts.Samples)
+	}
+	if math.IsNaN(opts.Epsilon) || opts.Epsilon < 0 || opts.Epsilon >= 1 {
+		return nil, fmt.Errorf("sketch: build: epsilon = %v out of (0,1)", opts.Epsilon)
+	}
+	if math.IsNaN(opts.Delta) || opts.Delta < 0 || opts.Delta >= 1 {
+		return nil, fmt.Errorf("sketch: build: delta = %v out of (0,1)", opts.Delta)
+	}
+	if opts.MaxSamples < 0 {
+		return nil, fmt.Errorf("sketch: build: max samples = %d must not be negative", opts.MaxSamples)
+	}
+	adaptive := opts.Samples == 0 && opts.Epsilon > 0
+	if adaptive {
+		if opts.Delta == 0 {
+			opts.Delta = DefaultDelta
+		}
+		if opts.MaxSamples == 0 {
+			opts.MaxSamples = DefaultMaxSamples
+		}
+	} else {
+		if opts.Samples == 0 {
+			opts.Samples = DefaultSamples
+		}
+		// A fixed Samples overrides the adaptive knobs entirely; zero them
+		// so the fingerprint and the stored Set record a fixed build.
+		opts.Epsilon, opts.Delta, opts.MaxSamples = 0, 0, 0
 	}
 	if opts.MaxHops == 0 {
 		opts.MaxHops = core.DefaultGreedyHops
@@ -206,54 +268,86 @@ func BuildContext(ctx context.Context, p *core.Problem, opts Options) (*Set, err
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > opts.Samples {
-		workers = opts.Samples
-	}
 
-	// One realization seed per sample, drawn exactly like the greedy's
-	// common-random-numbers seeds: a pure function of Options.Seed.
-	realSeeds := make([]uint64, opts.Samples)
-	seedSrc := rng.New(opts.Seed)
-	for i := range realSeeds {
-		realSeeds[i] = seedSrc.Uint64()
+	b := newSetBuilder(p, opts, workers)
+	if adaptive {
+		return b.buildAdaptive(ctx)
 	}
+	return b.buildFixed(ctx)
+}
 
-	var deadline time.Time
-	if opts.MaxDuration > 0 {
-		deadline = time.Now().Add(opts.MaxDuration)
-	}
-
+// setBuilder grows a pool of sampled realizations and assembles Sets from
+// prefixes of it. Growth is a pure prefix extension of one sequential seed
+// stream, so fixed and adaptive builds that end at the same realization
+// count hold identical Pairs, whatever Workers did.
+type setBuilder struct {
+	p       *core.Problem
+	opts    Options
+	workers int
+	// seedSrc streams realization seeds; realSeeds[i] is realization i's,
+	// drawn sequentially exactly like the greedy's common-random-numbers
+	// seeds: a pure function of Options.Seed.
+	seedSrc   *rng.Source
+	realSeeds []uint64
 	// perReal[i] collects realization i's pairs; slots keep assembly
 	// order independent of scheduling, so the Set is worker-count
 	// invariant.
-	perReal := make([][]Pair, opts.Samples)
-	baseline := make([]int, opts.Samples)
-	errs := make([]error, opts.Samples)
+	perReal  [][]Pair
+	baseline []int
+	deadline time.Time
+}
+
+func newSetBuilder(p *core.Problem, opts Options, workers int) *setBuilder {
+	b := &setBuilder{p: p, opts: opts, workers: workers, seedSrc: rng.New(opts.Seed)}
+	if opts.MaxDuration > 0 {
+		b.deadline = time.Now().Add(opts.MaxDuration)
+	}
+	return b
+}
+
+// grow samples realizations [len(perReal), total). All-or-nothing per the
+// build contract: on any failure the builder is unusable and the error is
+// returned.
+func (b *setBuilder) grow(ctx context.Context, total int) error {
+	lo := len(b.perReal)
+	if total <= lo {
+		return nil
+	}
+	for len(b.realSeeds) < total {
+		b.realSeeds = append(b.realSeeds, b.seedSrc.Uint64())
+	}
+	b.perReal = append(b.perReal, make([][]Pair, total-lo)...)
+	b.baseline = append(b.baseline, make([]int, total-lo)...)
+	errs := make([]error, total-lo)
 
 	sampleOne := func(sc *scratch, i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
+		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
 			return fmt.Errorf("%w: sketch build wall-clock budget spent before realization %d",
 				core.ErrBudgetExhausted, i)
 		}
-		if err := opts.Fault.Check(); err != nil {
+		if err := b.opts.Fault.Check(); err != nil {
 			return fmt.Errorf("sketch: build realization %d: %w", i, err)
 		}
-		pairs, base, err := sampleRealization(sc, p, realSeeds[i], int32(i), opts.MaxHops)
+		pairs, base, err := sampleRealization(sc, b.p, b.realSeeds[i], int32(i), b.opts.MaxHops)
 		if err != nil {
 			return fmt.Errorf("sketch: build realization %d: %w", i, err)
 		}
-		perReal[i] = pairs
-		baseline[i] = base
+		b.perReal[i] = pairs
+		b.baseline[i] = base
 		return nil
 	}
 
+	workers := b.workers
+	if workers > total-lo {
+		workers = total - lo
+	}
 	if workers == 1 {
-		sc := newScratch(p)
-		for i := 0; i < opts.Samples; i++ {
-			if errs[i] = sampleOne(sc, i); errs[i] != nil {
+		sc := newScratch(b.p)
+		for i := lo; i < total; i++ {
+			if errs[i-lo] = sampleOne(sc, i); errs[i-lo] != nil {
 				break
 			}
 		}
@@ -264,9 +358,9 @@ func BuildContext(ctx context.Context, p *core.Problem, opts Options) (*Set, err
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				sc := newScratch(p)
-				for i := w; i < opts.Samples; i += workers {
-					if errs[i] = sampleOne(sc, i); errs[i] != nil {
+				sc := newScratch(b.p)
+				for i := lo + w; i < total; i += workers {
+					if errs[i-lo] = sampleOne(sc, i); errs[i-lo] != nil {
 						return
 					}
 				}
@@ -288,24 +382,35 @@ func BuildContext(ctx context.Context, p *core.Problem, opts Options) (*Set, err
 			}
 			continue
 		}
+		return err
+	}
+	return cancelErr
+}
+
+// assemble builds a Set from the first n sampled realizations, index
+// included. The fingerprint is the caller's to stamp.
+func (b *setBuilder) assemble(n int) *Set {
+	set := &Set{
+		Samples: n,
+		Seed:    b.opts.Seed,
+		MaxHops: b.opts.MaxHops,
+		NumEnds: len(b.p.Ends),
+	}
+	for i := 0; i < n; i++ {
+		set.BaselinePairs += b.baseline[i]
+		set.Pairs = append(set.Pairs, b.perReal[i]...)
+	}
+	set.buildIndex()
+	return set
+}
+
+// buildFixed samples exactly opts.Samples realizations.
+func (b *setBuilder) buildFixed(ctx context.Context) (*Set, error) {
+	if err := b.grow(ctx, b.opts.Samples); err != nil {
 		return nil, err
 	}
-	if cancelErr != nil {
-		return nil, cancelErr
-	}
-
-	set := &Set{
-		Samples: opts.Samples,
-		Seed:    opts.Seed,
-		MaxHops: opts.MaxHops,
-		NumEnds: len(p.Ends),
-	}
-	for i := range perReal {
-		set.BaselinePairs += baseline[i]
-		set.Pairs = append(set.Pairs, perReal[i]...)
-	}
-	set.Fingerprint = Fingerprint(p, opts)
-	set.buildIndex()
+	set := b.assemble(b.opts.Samples)
+	set.Fingerprint = Fingerprint(b.p, b.opts)
 	return set, nil
 }
 

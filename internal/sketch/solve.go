@@ -1,7 +1,6 @@
 package sketch
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -27,6 +26,9 @@ func SolveGreedyRIS(p *core.Problem, set *Set, opts SolveOptions) (*core.GreedyR
 // core.GreedyContext: it greedily covers (realization, end) pairs until
 // σ̂_RIS(S) reaches the α·|B| target, returning the same GreedyResult
 // shape with sketch-based σ̂ — and running zero diffusion simulations.
+// Coverage counting runs on the bitset kernels of bitset.go: every
+// marginal-gain recount is one word-parallel AND-NOT popcount sweep over
+// the candidate's CSR pair row, with zero allocations per query.
 //
 // Coverage guarantee: pair coverage is an exactly submodular set function
 // of S, so the lazy evaluation (a candidate's previous marginal coverage
@@ -53,8 +55,8 @@ func SolveGreedyRISContext(ctx context.Context, p *core.Problem, set *Set, opts 
 	if opts.Alpha == 0 {
 		opts.Alpha = 0.9
 	}
-	if opts.Alpha < 0 || opts.Alpha >= 1 {
-		return nil, fmt.Errorf("sketch: solve: alpha = %v out of (0,1)", opts.Alpha)
+	if err := core.ValidateAlphaOpen(opts.Alpha); err != nil {
+		return nil, fmt.Errorf("sketch: solve: %w", err)
 	}
 	if err := set.Validate(p); err != nil {
 		return nil, fmt.Errorf("sketch: solve: %w", err)
@@ -74,57 +76,17 @@ func SolveGreedyRISContext(ctx context.Context, p *core.Problem, set *Set, opts 
 	required := p.RequiredEnds(opts.Alpha)
 	targetPairs := required*set.Samples - set.BaselinePairs
 
-	// Round 0: every candidate's initial coverage is its RR-pair count.
-	pq := make(coverQueue, 0, len(set.byNode))
-	for _, u := range set.Candidates() {
-		pq = append(pq, coverEntry{node: u, gain: len(set.byNode[u]), round: 0})
-		res.Evaluations++
-	}
-	heap.Init(&pq)
-
-	covered := make([]bool, len(set.Pairs))
-	coveredCount := 0
-	round := 0
-	var selected []int32
-	var loopErr error
-	for coveredCount < targetPairs && len(selected) < maxProtectors && pq.Len() > 0 {
-		if err := ctx.Err(); err != nil {
-			loopErr = err
-			break
-		}
-		top := heap.Pop(&pq).(coverEntry)
-		if top.round != round {
-			// Stale upper bound: recount against current coverage.
-			gain := 0
-			for _, pi := range set.byNode[top.node] {
-				if !covered[pi] {
-					gain++
-				}
-			}
-			top.gain = gain
-			top.round = round
-			res.Evaluations++
-			heap.Push(&pq, top)
-			continue
-		}
-		if top.gain <= 0 {
-			break // nothing left to cover with any remaining candidate
-		}
-		for _, pi := range set.byNode[top.node] {
-			covered[pi] = true
-		}
-		coveredCount += top.gain
-		selected = append(selected, top.node)
-		res.Gains = append(res.Gains, float64(top.gain)/n)
-		round++
-	}
-
-	res.Protectors = selected
+	st, loopErr := greedyCover(ctx, set, targetPairs, maxProtectors)
+	res.Evaluations = st.evaluations
+	res.Protectors = st.selected
 	if res.Protectors == nil {
 		res.Protectors = []int32{}
 	}
-	res.ProtectedEnds = float64(set.BaselinePairs+coveredCount) / n
-	res.Achieved = coveredCount >= targetPairs
+	for _, g := range st.gains {
+		res.Gains = append(res.Gains, float64(g)/n)
+	}
+	res.ProtectedEnds = float64(set.BaselinePairs+st.covered) / n
+	res.Achieved = st.covered >= targetPairs
 	if loopErr != nil {
 		res.Partial = true
 		return res, fmt.Errorf("sketch: solve: %w", loopErr)
@@ -132,26 +94,102 @@ func SolveGreedyRISContext(ctx context.Context, p *core.Problem, set *Set, opts 
 	return res, nil
 }
 
-// coverEntry is a lazy-greedy priority-queue entry: gain is the candidate's
-// marginal pair coverage as of round.
-type coverEntry struct {
-	node  int32
-	gain  int
-	round int
+// coverState is the outcome of one lazy-greedy max-coverage run over a
+// sketch: the selected nodes in order, their integer pair gains, the total
+// pairs covered, and the marginal-coverage evaluation count.
+type coverState struct {
+	selected    []int32
+	gains       []int
+	covered     int
+	evaluations int
 }
+
+// greedyCover runs the lazy-greedy max-coverage loop on the set's CSR
+// index until targetPairs pairs are covered, maxProtectors nodes are
+// selected, or no candidate has positive marginal coverage. It is shared
+// by the RIS solver and the adaptive build's stopping probe. The returned
+// error is the context's; the best-so-far state accompanies it.
+func greedyCover(ctx context.Context, set *Set, targetPairs, maxProtectors int) (coverState, error) {
+	var st coverState
+	ix := set.index
+
+	// Round 0: every candidate's initial coverage is its RR-pair count.
+	pq := make(coverQueue, 0, len(ix.nodes))
+	for r, u := range ix.nodes {
+		pq = append(pq, coverEntry{key: coverKey(int32(len(ix.rowList(int32(r)))), u), row: int32(r), round: 0})
+		st.evaluations++
+	}
+	pq.initQueue()
+
+	covered := NewBitset(ix.numPairs)
+	round := int32(0)
+	for st.covered < targetPairs && len(st.selected) < maxProtectors && pq.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		if top := &pq[0]; top.round != round {
+			// Stale upper bound: recount the maximum against current
+			// coverage — one AND-NOT popcount sweep of the candidate's pair
+			// row — in place at the heap root, then restore the invariant
+			// with a single siftDown. Equivalent to the textbook CELF
+			// pop-recount-push (the same unique (gain, node) maximum is
+			// recounted, and reheapifying surfaces the same next maximum)
+			// at half the heap moves; usually the recounted top stays on
+			// top and the siftDown is O(1).
+			top.key = coverKey(int32(ix.gain(top.row, covered)), top.node())
+			top.round = round
+			st.evaluations++
+			pq.siftDown(0)
+			continue
+		}
+		top := pq.popEntry()
+		if top.gain() <= 0 {
+			break // nothing left to cover with any remaining candidate
+		}
+		ix.commit(top.row, covered)
+		st.covered += int(top.gain())
+		st.selected = append(st.selected, top.node())
+		st.gains = append(st.gains, int(top.gain()))
+		round++
+	}
+	return st, nil
+}
+
+// coverEntry is a lazy-greedy priority-queue entry. The candidate's gain
+// (marginal pair coverage as of round) and node id are packed into one
+// uint64 comparison key — gain in the high word, complemented node in the
+// low word — so the heap's (gain desc, node asc) order is a single integer
+// compare and an entry is 16 bytes. Gain fits 32 bits because it is a pair
+// count bounded by numPairs, itself an int32 index domain.
+type coverEntry struct {
+	key   uint64
+	row   int32
+	round int32
+}
+
+// coverKey packs (gain desc, node asc) into one max-ordered uint64:
+// key(a) > key(b) ⇔ a precedes b. Complementing the node makes the
+// smaller id win gain ties under the single > compare.
+func coverKey(gain, node int32) uint64 {
+	return uint64(uint32(gain))<<32 | uint64(^uint32(node))
+}
+
+func (e coverEntry) gain() int32 { return int32(uint32(e.key >> 32)) }
+func (e coverEntry) node() int32 { return int32(^uint32(e.key)) }
 
 // coverQueue is a max-heap on gain, ties to the smaller node id for
-// determinism.
+// determinism. The live solver drives it through the concrete
+// initQueue/popEntry/siftDown below — container/heap's interface
+// indirection boxes every Pop and blocks inlining of the comparisons,
+// which is measurable at this loop's recount rates. The heap.Interface
+// methods remain for reference.go, the retired selector. Both disciplines
+// pop the same unique (gain, node) maximum at every step, so selections
+// and evaluation counts cannot differ between them.
 type coverQueue []coverEntry
 
-func (q coverQueue) Len() int { return len(q) }
-func (q coverQueue) Less(i, j int) bool {
-	if q[i].gain != q[j].gain {
-		return q[i].gain > q[j].gain
-	}
-	return q[i].node < q[j].node
-}
-func (q coverQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q coverQueue) Len() int           { return len(q) }
+func (q coverQueue) Less(i, j int) bool { return q[i].key > q[j].key }
+func (q coverQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
 func (q *coverQueue) Push(x interface{}) {
 	*q = append(*q, x.(coverEntry))
 }
@@ -161,4 +199,62 @@ func (q *coverQueue) Pop() interface{} {
 	x := old[n-1]
 	*q = old[:n-1]
 	return x
+}
+
+// The concrete queue is a 4-ary heap: sifting visits half the levels of a
+// binary heap, and the four-child max scan runs branch-predictably over
+// one cache line of keys. Arity changes which array slots hold which
+// entries, never which entry is the maximum — the pop sequence, and with
+// it selections and evaluation counts, is identical to any other max-heap
+// discipline including reference.go's container/heap.
+
+// initQueue establishes the heap invariant in O(n), like heap.Init.
+// (n-2)/4 is the last internal node of the 4-ary heap.
+func (q coverQueue) initQueue() {
+	for i := (len(q) - 2) / 4; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
+// popEntry removes and returns the maximum entry, like heap.Pop.
+func (q *coverQueue) popEntry() coverEntry {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	*q = h[:n]
+	if n > 1 {
+		(*q).siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores the invariant below i, shifting the largest of the
+// four children up into the hole instead of swapping at every level — one
+// 16-byte move per level plus a single write at the final resting place.
+func (q coverQueue) siftDown(i int) {
+	n := len(q)
+	e := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		best, bestKey := first, q[first].key
+		for c := first + 1; c < last; c++ {
+			if k := q[c].key; k > bestKey {
+				best, bestKey = c, k
+			}
+		}
+		if bestKey <= e.key {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = e
 }

@@ -3,6 +3,7 @@ package sketch
 import (
 	"context"
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 
@@ -71,6 +72,9 @@ func TestSolveGreedyRISValidation(t *testing.T) {
 	}
 	if _, err := SolveGreedyRIS(p, set, SolveOptions{Alpha: -0.5}); err == nil {
 		t.Fatal("negative alpha accepted")
+	}
+	if _, err := SolveGreedyRIS(p, set, SolveOptions{Alpha: math.NaN()}); err == nil {
+		t.Fatal("NaN alpha accepted (the ad-hoc range checks were all false for NaN)")
 	}
 }
 

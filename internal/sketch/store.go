@@ -29,18 +29,33 @@ type storeFile struct {
 
 // Fingerprint binds a sketch to everything that shapes its contents: a
 // hash of the graph's full adjacency structure, the rumor seed set, the
-// bridge ends, the diffusion model, and the build's seed, sample count and
-// hop horizon. Two problems with equal fingerprints produce bit-identical
-// sketches; any drift — a regenerated graph, a different rumor draw, new
-// build options — changes the fingerprint and invalidates stored sketches.
+// bridge ends, the diffusion model, and whichever sizing rule the build
+// ran under — the seed, sample count and hop horizon for fixed builds, or
+// the seed, ε, δ, sample cap and hop horizon for adaptive ones. Two
+// problems with equal fingerprints produce bit-identical sketches; any
+// drift — a regenerated graph, a different rumor draw, new build options —
+// changes the fingerprint and invalidates stored sketches.
 func Fingerprint(p *core.Problem, opts Options) string {
-	samples := opts.Samples
-	if samples == 0 {
-		samples = DefaultSamples
-	}
 	maxHops := opts.MaxHops
 	if maxHops == 0 {
 		maxHops = core.DefaultGreedyHops
+	}
+	if opts.Samples == 0 && opts.Epsilon > 0 {
+		delta := opts.Delta
+		if delta == 0 {
+			delta = DefaultDelta
+		}
+		maxSamples := opts.MaxSamples
+		if maxSamples == 0 {
+			maxSamples = DefaultMaxSamples
+		}
+		return fmt.Sprintf("sketch v%d model=opoao graph=%016x rumors=%016x ends=%016x seed=%d eps=%g delta=%g maxSamples=%d hops=%d",
+			StoreVersion, graphHash(p), sliceHash(p.Rumors), sliceHash(p.Ends),
+			opts.Seed, opts.Epsilon, delta, maxSamples, maxHops)
+	}
+	samples := opts.Samples
+	if samples == 0 {
+		samples = DefaultSamples
 	}
 	return fmt.Sprintf("sketch v%d model=opoao graph=%016x rumors=%016x ends=%016x seed=%d samples=%d hops=%d",
 		StoreVersion, graphHash(p), sliceHash(p.Rumors), sliceHash(p.Ends),
@@ -88,7 +103,14 @@ func (s *Set) Validate(p *core.Problem) error {
 	if p == nil {
 		return fmt.Errorf("sketch: validate: nil problem")
 	}
-	want := Fingerprint(p, Options{Seed: s.Seed, Samples: s.Samples, MaxHops: s.MaxHops})
+	opts := Options{Seed: s.Seed, Samples: s.Samples, MaxHops: s.MaxHops}
+	if s.Epsilon > 0 {
+		// Adaptive build: the fingerprint binds the stopping rule, not the
+		// realized sample count it settled on.
+		opts = Options{Seed: s.Seed, MaxHops: s.MaxHops,
+			Epsilon: s.Epsilon, Delta: s.Delta, MaxSamples: s.MaxSamples}
+	}
+	want := Fingerprint(p, opts)
 	if s.Fingerprint != want {
 		return fmt.Errorf("sketch: stored %q, expected %q: %w", s.Fingerprint, want, ErrStale)
 	}

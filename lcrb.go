@@ -290,9 +290,11 @@ type (
 // Stale sketches are rejected, never silently served.
 var ErrSketchStale = sketch.ErrStale
 
-// BuildSketches samples the RR-set sketch of p: Options.Samples fixed
-// OPOAO realizations, deterministic per seed and bit-identical for every
-// worker count.
+// BuildSketches samples the RR-set sketch of p: either Options.Samples
+// fixed OPOAO realizations, or — with Options.Epsilon set — an adaptively
+// sized pool grown in doubling rounds until a martingale stopping rule
+// certifies relative error ε. Both modes are deterministic per seed and
+// bit-identical for every worker count.
 func BuildSketches(p *Problem, opts SketchOptions) (*SketchSet, error) {
 	return BuildSketchesContext(context.Background(), p, opts)
 }

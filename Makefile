@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-fix lint-bench ci bench bench-all bench-smoke serve serve-smoke sketch-smoke load-smoke clean
+.PHONY: all build vet test race lint lint-fix lint-bench ci bench bench-all bench-smoke serve serve-smoke sketch-smoke shard-smoke load-smoke clean
 
 all: ci
 
@@ -50,13 +50,20 @@ lint-bench:
 # suppression audit), the lint timing budget, build, the full suite under
 # the race detector, then the sketch, bench-fixture, serving and load
 # smoke tests.
-ci: lint lint-bench build race sketch-smoke bench-smoke serve-smoke load-smoke
+ci: lint lint-bench build race sketch-smoke shard-smoke bench-smoke serve-smoke load-smoke
 
 # sketch-smoke runs the fast RR-set sketch end-to-end check: build
 # bit-identity across worker counts, an α-achieving zero-simulation solve,
 # and an atomic save/load round trip.
 sketch-smoke:
 	$(GO) run ./cmd/lcrbbench -sketch-smoke
+
+# shard-smoke runs the sharded scatter-gather solve tier end-to-end: a
+# 1-coordinator/3-shard in-process solve that must be bit-identical to the
+# single-store solver, then a scripted mid-solve shard kill whose degraded
+# answer must match the 2-shard rebuild oracle with honest loss tags.
+shard-smoke:
+	$(GO) run ./cmd/lcrbbench -shard-smoke
 
 # bench-smoke re-solves the pinned greedy-RIS instance and fails if the
 # selection (protectors, gains, evaluation count, fingerprint) drifts from

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"lcrb/internal/community"
+	"lcrb/internal/core"
+	"lcrb/internal/gen"
+	"lcrb/internal/rng"
+	"lcrb/internal/shardsolve"
+	"lcrb/internal/sketch"
+)
+
+// runShardSmoke is the `make shard-smoke` body: the sharded RIS solve
+// tier end-to-end in seconds. One coordinator scatters over three
+// in-process shard hosts and must be bit-identical to the single-store
+// solver; then a scripted chaos schedule kills one shard mid-solve and
+// the degraded answer must equal the rebuild oracle — a cluster that
+// never had the dead shard at all — with the loss tagged honestly
+// (census, shard_loss reason, effective sample accounting).
+func runShardSmoke(ctx context.Context, stdout, stderr io.Writer) error {
+	const seed = 1
+	net, err := gen.Hep(0.03, seed)
+	if err != nil {
+		return err
+	}
+	part := community.Louvain(net.Graph, community.LouvainOptions{Seed: seed})
+	comm := part.ClosestBySize(80)
+	members := part.Members(comm)
+	src := rng.New(seed + 100)
+	k := int32(len(members) / 10)
+	if k < 2 {
+		k = 2
+	}
+	var rumors []int32
+	for _, i := range src.SampleInt32(int32(len(members)), k) {
+		rumors = append(rumors, members[i])
+	}
+	prob, err := core.NewProblem(net.Graph, part.Assign(), comm, rumors)
+	if err != nil {
+		return err
+	}
+	if prob.NumEnds() == 0 {
+		return fmt.Errorf("shard smoke: instance has no bridge ends")
+	}
+
+	const shards = 3
+	opts := sketch.Options{Samples: 64, Seed: 7}
+	start := time.Now()
+
+	full, err := sketch.BuildContext(ctx, prob, opts)
+	if err != nil {
+		return fmt.Errorf("shard smoke: full build: %w", err)
+	}
+	want, err := sketch.SolveGreedyRISContext(ctx, prob, full, sketch.SolveOptions{Alpha: 0.9})
+	if err != nil {
+		return fmt.Errorf("shard smoke: single-store solve: %w", err)
+	}
+
+	hosts := func() ([]*shardsolve.Host, error) {
+		out := make([]*shardsolve.Host, shards)
+		for i := range out {
+			slice, err := sketch.BuildShardContext(ctx, prob, opts, i, shards)
+			if err != nil {
+				return nil, fmt.Errorf("shard smoke: build slice %d/%d: %w", i, shards, err)
+			}
+			out[i] = shardsolve.NewHost(shardsolve.StaticProvider(slice))
+		}
+		return out, nil
+	}
+	solve := func(chaos shardsolve.Chaos) (*shardsolve.Result, error) {
+		hs, err := hosts()
+		if err != nil {
+			return nil, err
+		}
+		c := &shardsolve.Coordinator{
+			Transport:  shardsolve.NewInProc(hs, chaos),
+			Shards:     shards,
+			HedgeDelay: 5 * time.Millisecond,
+		}
+		return c.SolveContext(ctx, shardsolve.Spec{Alpha: 0.9})
+	}
+
+	// Gate 1: no faults → bit-identity with the single-store solver.
+	clean, err := solve(nil)
+	if err != nil {
+		return fmt.Errorf("shard smoke: sharded solve: %w", err)
+	}
+	if !reflect.DeepEqual(clean.GreedyResult, *want) {
+		return fmt.Errorf("shard smoke: sharded solve differs from single store:\n sharded %+v\n single  %+v",
+			clean.GreedyResult, *want)
+	}
+	if clean.Degraded != "" || clean.Shards.Live != shards {
+		return fmt.Errorf("shard smoke: fault-free solve tagged %q, census %+v", clean.Degraded, clean.Shards)
+	}
+
+	// Gate 2: endpoint 1 dies at its second call — after init, before any
+	// commit. The solve must terminate, tag the loss, and account the
+	// effective samples.
+	lossy, err := solve(shardsolve.Chaos{1: {{Call: 2, Kind: shardsolve.FaultDie}}})
+	if err != nil {
+		return fmt.Errorf("shard smoke: kill-schedule solve: %w", err)
+	}
+	lost := sketch.ShardRealizations(opts.Samples, 1, shards)
+	if lossy.Degraded != shardsolve.DegradedShardLoss {
+		return fmt.Errorf("shard smoke: kill run tagged %q, want %q", lossy.Degraded, shardsolve.DegradedShardLoss)
+	}
+	if lossy.Shards.Live != shards-1 || lossy.Shards.LostRealizations != lost ||
+		lossy.EffectiveSamples != opts.Samples-lost {
+		return fmt.Errorf("shard smoke: kill run census %+v, effective %d — want %d live, %d lost",
+			lossy.Shards, lossy.EffectiveSamples, shards-1, lost)
+	}
+
+	// Gate 3: the rebuild oracle. A cluster where shard 1 was dead from
+	// the very first call solves over exactly the surviving realizations;
+	// the mid-solve kill must land on the same answer (evaluation counts
+	// aside — the kill run recounts candidates the oracle never saw).
+	oracle, err := solve(shardsolve.Chaos{1: {{Call: 1, Kind: shardsolve.FaultDie}}})
+	if err != nil {
+		return fmt.Errorf("shard smoke: oracle solve: %w", err)
+	}
+	if !reflect.DeepEqual(lossy.Protectors, oracle.Protectors) ||
+		!reflect.DeepEqual(lossy.Gains, oracle.Gains) ||
+		lossy.ProtectedEnds != oracle.ProtectedEnds ||
+		lossy.BaselineEnds != oracle.BaselineEnds ||
+		lossy.Achieved != oracle.Achieved {
+		return fmt.Errorf("shard smoke: kill run differs from rebuild oracle:\n kill   %+v\n oracle %+v",
+			lossy.GreedyResult, oracle.GreedyResult)
+	}
+
+	fmt.Fprintf(stdout, "shard smoke: OK (%d shards, %d realizations, %d protectors; kill run lost %d realizations and matched the %d-shard oracle, %v)\n",
+		shards, opts.Samples, len(clean.Protectors), lost, shards-1, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -162,7 +162,7 @@ func (s *server) solveLadder(ctx context.Context, req *resolvedRequest, inst *ex
 		// "auto" races the exact greedy against the cheaper SCBG cover:
 		// SCBG launches hedgeDelay in (or immediately once greedy fails),
 		// and the first rung to finish wins while the loser is canceled.
-		h := resilience.Hedge{Delay: s.cfg.hedgeDelay, Attempts: 2}
+		h := resilience.Hedge{Delay: s.cfg.hedgeDelay, Attempts: 2, Stats: s.hedge}
 		var v any
 		v, err = h.DoContext(ctx, func(ctx context.Context, attempt int) (any, error) {
 			if attempt == 0 {

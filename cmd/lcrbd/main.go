@@ -83,6 +83,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		sketchEps   = fs.Float64("sketch-eps", 0, "adaptive sketch sizing to relative error ε in (0,1); overrides -sketch-samples")
 		sketchDir   = fs.String("sketch-dir", "", "directory persisting built sketches across restarts")
 		tenantSpec  = fs.String("tenants", "", "per-tenant admission weights as name:weight,... (unlisted tenants weigh 1)")
+		shardsSpec  = fs.String("shards", "", "sharded RIS tier: a count (in-process) or comma-separated shard worker URLs")
+		shardOf     = fs.String("shard-of", "", "serve POST /v1/shard as slice i/n of the default instance's sketch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +103,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	shardCount, shardURLs, err := parseShards(*shardsSpec)
+	if err != nil {
+		return err
+	}
+	shardOfIndex, shardOfCount, err := parseShardOf(*shardOf)
+	if err != nil {
+		return err
+	}
+	if (shardCount > 0 || len(shardURLs) > 0 || shardOfCount > 0) && *sketchN <= 0 && *sketchEps <= 0 {
+		return fmt.Errorf("-shards/-shard-of need the sketch rung: set -sketch-samples or -sketch-eps")
+	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
 	s := newServer(serverConfig{
@@ -118,6 +131,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		sketchEps:      *sketchEps,
 		sketchDir:      *sketchDir,
 		tenants:        tenants,
+		shardCount:     shardCount,
+		shardURLs:      shardURLs,
+		shardOfIndex:   shardOfIndex,
+		shardOfCount:   shardOfCount,
 	}, chaos, logf)
 
 	ln, err := net.Listen("tcp", *addr)

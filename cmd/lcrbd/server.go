@@ -16,6 +16,7 @@ import (
 	"lcrb/internal/core"
 	"lcrb/internal/experiment"
 	"lcrb/internal/resilience"
+	"lcrb/internal/shardsolve"
 )
 
 // serverConfig collects the flag-settable knobs of the daemon.
@@ -55,6 +56,15 @@ type serverConfig struct {
 	// robin quantum and waiting-queue share). Unlisted tenants run at
 	// weight 1.
 	tenants map[string]int64
+	// shardCount (in-process) or shardURLs (remote workers) enable the
+	// sharded RIS solve tier; both zero means the tier is off.
+	shardCount int
+	shardURLs  []string
+	// shardOfIndex/shardOfCount make this daemon a shard worker serving
+	// POST /v1/shard for slice shardOfIndex of shardOfCount; count 0 means
+	// not a worker.
+	shardOfIndex int
+	shardOfCount int
 }
 
 // solveRequest is the body of POST /v1/solve. Zero fields inherit server
@@ -109,6 +119,10 @@ type solveResponse struct {
 	// Degraded marks a fallback answer; DegradedReason explains the path.
 	Degraded       bool   `json:"degraded"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+	// Shards reports the shard census when the sharded RIS tier produced
+	// the answer: total shards, how many were live at the end, and how
+	// many realizations died with the lost ones.
+	Shards *shardsolve.ShardsInfo `json:"shards,omitempty"`
 	// ElapsedMillis is the serving time.
 	ElapsedMillis int64 `json:"elapsedMillis"`
 }
@@ -167,6 +181,11 @@ type server struct {
 	gate     *resilience.Gate
 	breaker  *resilience.Breaker
 	sketches *sketchStore
+	// shards is the sharded RIS solve tier (nil when -shards is unset);
+	// hedge aggregates hedge outcomes across the auto ladder and the shard
+	// coordinator for /v1/stats.
+	shards *shardTier
+	hedge  *resilience.HedgeStats
 	// flights coalesces concurrent identical solves (same fingerprint)
 	// into one execution; leaders run under hardDrain, so an impatient
 	// client detaches without killing the solve other clients wait on.
@@ -204,10 +223,13 @@ func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, ar
 		logf = func(string, ...any) {}
 	}
 	hardDrain, hardStop := context.WithCancel(context.Background())
+	hedge := &resilience.HedgeStats{}
 	s := &server{
-		cfg:   cfg,
-		chaos: chaos,
-		gate:  resilience.NewGate(cfg.maxInflight, cfg.maxWaiting),
+		cfg:    cfg,
+		chaos:  chaos,
+		hedge:  hedge,
+		shards: newShardTier(cfg.shardCount, cfg.shardURLs, hedge, logf),
+		gate:   resilience.NewGate(cfg.maxInflight, cfg.maxWaiting),
 		breaker: resilience.NewBreaker(resilience.BreakerOptions{
 			FailureThreshold: 3,
 			Cooldown:         2 * time.Second,
@@ -240,6 +262,7 @@ func (s *server) stop() {
 	s.hardStop()
 	s.flights.Wait()
 	s.sketches.drainBuilds()
+	s.shards.wait()
 }
 
 // handler builds the daemon's route table. Every route runs inside the
@@ -252,6 +275,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.cfg.shardOfCount > 0 {
+		mux.Handle("POST "+shardsolve.ShardPath, shardsolve.NewHTTPHandler(s.shardWorkerHost()))
+	}
 	return s.contain(mux)
 }
 
@@ -317,8 +343,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	stats["tenants"] = tenants
+	stats["hedge"] = s.hedge.Snapshot()
 	if s.sketches.enabled() {
 		stats["sketch"] = s.sketches.stats()
+	}
+	if s.shards.enabled() {
+		stats["shards"] = s.shards.stats()
 	}
 	s.writeJSON(w, stats)
 }

@@ -204,3 +204,22 @@ func TestPercentile(t *testing.T) {
 		t.Fatalf("empty percentile = %v, want 0", got)
 	}
 }
+
+func TestNestedDelta(t *testing.T) {
+	before := map[string]any{"hedge": map[string]any{"hedgeWon": 2.0}}
+	after := map[string]any{"hedge": map[string]any{"hedgeWon": 7.0, "allFailed": 1.0}}
+	if d := nestedDelta(before, after, "hedge", "hedgeWon"); d != 5 {
+		t.Fatalf("hedgeWon delta = %v, want 5", d)
+	}
+	// Counters that appear only in the after snapshot count from zero.
+	if d := nestedDelta(before, after, "hedge", "allFailed"); d != 1 {
+		t.Fatalf("allFailed delta = %v, want 1", d)
+	}
+	// Sections missing from either snapshot are zero, not a panic.
+	if d := nestedDelta(before, after, "shards", "solves"); d != 0 {
+		t.Fatalf("missing section delta = %v, want 0", d)
+	}
+	if d := nestedDelta(nil, nil, "hedge", "hedgeWon"); d != 0 {
+		t.Fatalf("nil snapshots delta = %v, want 0", d)
+	}
+}

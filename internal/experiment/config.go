@@ -85,6 +85,13 @@ type Config struct {
 	// RISDelta is the adaptive build's failure probability in (0,1); 0
 	// means the sketch package default. Only meaningful with RISEpsilon.
 	RISDelta float64
+	// RISShards, when > 1, runs EstimatorRIS solves through the sharded
+	// scatter-gather coordinator over RISShards in-process slices instead
+	// of one store. Answers are bit-identical to the single-store solve
+	// (the CRN partition guarantees it — see internal/shardsolve), so the
+	// knob exists to exercise and time the sharded tier, not to change
+	// results. Requires fixed sizing: incompatible with RISEpsilon.
+	RISShards int
 	// Workers parallelizes σ̂ evaluation inside the LCRB-P greedy (see
 	// core.GreedyOptions.Workers): 0 or 1 means serial, negative means
 	// GOMAXPROCS. Results are bit-identical for every worker count, so
@@ -150,6 +157,12 @@ func (c Config) validate() error {
 	}
 	if math.IsNaN(c.RISDelta) || c.RISDelta < 0 || c.RISDelta >= 1 {
 		return fmt.Errorf("experiment: ris delta = %v out of (0,1)", c.RISDelta)
+	}
+	if c.RISShards < 0 {
+		return fmt.Errorf("experiment: ris shards = %d must not be negative", c.RISShards)
+	}
+	if c.RISShards > 1 && c.RISEpsilon > 0 {
+		return fmt.Errorf("experiment: ris shards = %d needs fixed sizing; adaptive epsilon = %v cannot shard", c.RISShards, c.RISEpsilon)
 	}
 	return nil
 }

@@ -87,14 +87,23 @@ func RunFigureOPOAOContext(ctx context.Context, inst *Instance) (*FigureResult, 
 		if prob.NumEnds() > 0 {
 			switch cfg.Estimator {
 			case EstimatorRIS:
-				set, err := sketch.BuildContext(ctx, prob, sketch.Options{
+				opts := sketch.Options{
 					Samples: cfg.RISSamples,
 					Epsilon: cfg.RISEpsilon,
 					Delta:   cfg.RISDelta,
 					Seed:    cfg.Seed + 3,
 					MaxHops: cfg.Hops,
 					Workers: cfg.Workers,
-				})
+				}
+				if cfg.RISShards > 1 {
+					gres, err := solveShardedRIS(ctx, prob, opts, cfg.RISShards, budget)
+					if err != nil {
+						return nil, fmt.Errorf("experiment: %s: greedy (sharded ris): %w", cfg.Name, err)
+					}
+					greedySeeds = gres.Protectors
+					break
+				}
+				set, err := sketch.BuildContext(ctx, prob, opts)
 				if err != nil {
 					return nil, fmt.Errorf("experiment: %s: sketch build: %w", cfg.Name, err)
 				}

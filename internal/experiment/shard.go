@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"context"
+
+	"lcrb/internal/core"
+	"lcrb/internal/shardsolve"
+	"lcrb/internal/sketch"
+)
+
+// solveShardedRIS runs the figures' EstimatorRIS greedy through the
+// sharded scatter-gather coordinator over count in-process slices. The
+// CRN partition makes the answer bit-identical to the single-store
+// solve, so RISShards never moves experiment numbers — it exists to
+// exercise and time the sharded tier on real workloads.
+func solveShardedRIS(ctx context.Context, prob *core.Problem, opts sketch.Options, count, budget int) (*core.GreedyResult, error) {
+	hosts := make([]*shardsolve.Host, count)
+	for i := range hosts {
+		slice, err := sketch.BuildShardContext(ctx, prob, opts, i, count)
+		if err != nil {
+			return nil, err
+		}
+		hosts[i] = shardsolve.NewHost(shardsolve.StaticProvider(slice))
+	}
+	c := &shardsolve.Coordinator{
+		Transport: shardsolve.NewInProc(hosts, nil),
+		Shards:    count,
+	}
+	res, err := c.SolveContext(ctx, shardsolve.Spec{Alpha: 0.99, MaxProtectors: budget})
+	if err != nil {
+		return nil, err
+	}
+	return &res.GreedyResult, nil
+}

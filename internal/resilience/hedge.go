@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +28,60 @@ type Hedge struct {
 	// Attempts is the maximum number of attempts, the primary included.
 	// Values < 1 mean 2.
 	Attempts int
+	// Stats, when non-nil, receives the outcome of every DoContext call:
+	// whether the primary won, a hedge attempt won, or every attempt
+	// failed. Several Hedge values may share one HedgeStats to aggregate
+	// (the serving layer's ladder and the shard coordinator both do).
+	Stats *HedgeStats
+}
+
+// HedgeStats counts hedge outcomes so operators can judge whether hedging
+// earns its extra work: a high hedge-won rate says the primary path
+// straggles; a high both-failed rate says hedging is papering over a
+// dependency that is simply down. Safe for concurrent use; the zero value
+// is ready.
+type HedgeStats struct {
+	primaryWon atomic.Int64
+	hedgeWon   atomic.Int64
+	allFailed  atomic.Int64
+}
+
+// HedgeOutcomes is a point-in-time copy of a HedgeStats.
+type HedgeOutcomes struct {
+	// PrimaryWon counts calls attempt 0 won.
+	PrimaryWon int64 `json:"primaryWon"`
+	// HedgeWon counts calls a later (hedge) attempt won.
+	HedgeWon int64 `json:"hedgeWon"`
+	// AllFailed counts calls where every launched attempt failed.
+	AllFailed int64 `json:"allFailed"`
+}
+
+// Snapshot reports the counters. A nil receiver reads as all zeros, so
+// callers can thread an optional *HedgeStats without guarding.
+func (s *HedgeStats) Snapshot() HedgeOutcomes {
+	if s == nil {
+		return HedgeOutcomes{}
+	}
+	return HedgeOutcomes{
+		PrimaryWon: s.primaryWon.Load(),
+		HedgeWon:   s.hedgeWon.Load(),
+		AllFailed:  s.allFailed.Load(),
+	}
+}
+
+// record books one call's outcome; nil-safe.
+func (s *HedgeStats) record(winner int, failed bool) {
+	if s == nil {
+		return
+	}
+	switch {
+	case failed:
+		s.allFailed.Add(1)
+	case winner == 0:
+		s.primaryWon.Add(1)
+	default:
+		s.hedgeWon.Add(1)
+	}
 }
 
 // hedgeResult is one attempt's outcome.
@@ -110,6 +165,7 @@ func (h Hedge) DoContext(ctx context.Context, op func(ctx context.Context, attem
 					<-results
 					finished++
 				}
+				h.Stats.record(r.attempt, false)
 				return r.v, nil
 			}
 			finished++
@@ -135,6 +191,7 @@ func (h Hedge) DoContext(ctx context.Context, op func(ctx context.Context, attem
 					}
 				}
 			} else if finished == launched {
+				h.Stats.record(0, true)
 				return nil, fmt.Errorf("resilience: hedge: all %d attempts failed: %w", launched, errors.Join(errs...))
 			}
 		}

@@ -139,3 +139,57 @@ func TestHedgeParentCanceled(t *testing.T) {
 		t.Fatalf("err = %v, want wrap of Canceled", err)
 	}
 }
+
+// TestHedgeStats counts primary wins, hedge wins and total failures, and
+// aggregates across Hedge values sharing one HedgeStats.
+func TestHedgeStats(t *testing.T) {
+	var stats HedgeStats
+
+	// Primary wins immediately.
+	h := Hedge{Delay: time.Hour, Attempts: 2, Stats: &stats}
+	if _, err := h.Do(func(_ context.Context, attempt int) (any, error) {
+		return attempt, nil
+	}); err != nil {
+		t.Fatalf("primary win: %v", err)
+	}
+
+	// Primary fails, the fast-forwarded hedge wins — a second Hedge value
+	// shares the same counters.
+	h2 := Hedge{Delay: time.Hour, Attempts: 2, Stats: &stats}
+	if _, err := h2.Do(func(_ context.Context, attempt int) (any, error) {
+		if attempt == 0 {
+			return nil, errors.New("primary down")
+		}
+		return "hedge", nil
+	}); err != nil {
+		t.Fatalf("hedge win: %v", err)
+	}
+
+	// Every attempt fails.
+	if _, err := h.Do(func(_ context.Context, attempt int) (any, error) {
+		return nil, errors.New("all down")
+	}); err == nil {
+		t.Fatal("all-failed call succeeded")
+	}
+
+	got := stats.Snapshot()
+	want := HedgeOutcomes{PrimaryWon: 1, HedgeWon: 1, AllFailed: 1}
+	if got != want {
+		t.Fatalf("Snapshot() = %+v, want %+v", got, want)
+	}
+}
+
+// TestHedgeStatsNilSafe: a Hedge without Stats and a nil *HedgeStats both
+// work — optional wiring must not force a counter on every call site.
+func TestHedgeStatsNilSafe(t *testing.T) {
+	h := Hedge{Attempts: 2}
+	if _, err := h.Do(func(_ context.Context, attempt int) (any, error) {
+		return attempt, nil
+	}); err != nil {
+		t.Fatalf("Do without stats: %v", err)
+	}
+	var s *HedgeStats
+	if got := s.Snapshot(); got != (HedgeOutcomes{}) {
+		t.Fatalf("nil Snapshot() = %+v, want zeros", got)
+	}
+}

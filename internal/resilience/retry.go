@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"lcrb/internal/rng"
@@ -111,6 +112,19 @@ func (r Retry) backoff(i int, src *rng.Source) time.Duration {
 	if d > float64(max) {
 		d = float64(max)
 	}
+	// Guard the float → Duration conversion: at extreme settings (a
+	// MaxDelay near math.MaxInt64, a huge Multiplier, attempt counts in
+	// the dozens) d can exceed MaxInt64 — float64(MaxInt64) rounds UP to
+	// 2⁶³, so even d == float64(max) can be out of int64 range, and Go
+	// leaves out-of-range float→int conversions implementation-defined
+	// (negative durations in practice). Clamp while still in float space;
+	// the jitter below only shrinks d, never grows it.
+	if d > maxConvertibleDelay {
+		d = maxConvertibleDelay
+	}
+	if d < 0 || math.IsNaN(d) {
+		d = 0
+	}
 	// A float field cannot distinguish "unset" from "explicitly zero", and
 	// the zero value should jitter, so 0 means the default and negative
 	// values disable.
@@ -128,6 +142,12 @@ func (r Retry) backoff(i int, src *rng.Source) time.Duration {
 	}
 	return time.Duration(d)
 }
+
+// maxConvertibleDelay is the largest float64 that converts to a valid
+// positive time.Duration: the predecessor of 2⁶³ in float64. MaxInt64
+// itself is not representable — float64(math.MaxInt64) rounds up and out
+// of range.
+const maxConvertibleDelay = float64(math.MaxInt64 - 512)
 
 // doSleep blocks for d or until ctx ends.
 func (r Retry) doSleep(ctx context.Context, d time.Duration) error {

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 	"time"
+
+	"lcrb/internal/rng"
 )
 
 // TestRetrySucceedsAfterFailures retries a flaky op to success without
@@ -162,6 +165,64 @@ func TestRetryNoJitter(t *testing.T) {
 	for i, d := range delays {
 		if d != want[i] {
 			t.Fatalf("delay %d = %v, want %v", i, d, want[i])
+		}
+	}
+}
+
+// TestRetryBackoffBoundaries drives the backoff computation into the
+// regions where the float → Duration conversion used to overflow: delays
+// near math.MaxInt64, huge multipliers, and attempt counts deep enough to
+// saturate. Every returned delay must be a valid duration in [0, max].
+func TestRetryBackoffBoundaries(t *testing.T) {
+	tests := []struct {
+		name string
+		r    Retry
+		i    int // completed attempts (0-based backoff index)
+	}{
+		{"max delay at MaxInt64", Retry{BaseDelay: time.Hour, MaxDelay: math.MaxInt64, Multiplier: 2}, 62},
+		{"base at MaxInt64", Retry{BaseDelay: math.MaxInt64, MaxDelay: math.MaxInt64}, 0},
+		{"base at MaxInt64 grown", Retry{BaseDelay: math.MaxInt64, MaxDelay: math.MaxInt64, Multiplier: 1e18}, 40},
+		{"huge multiplier", Retry{BaseDelay: time.Nanosecond, MaxDelay: math.MaxInt64, Multiplier: math.MaxFloat64}, 3},
+		{"deep attempt count", Retry{BaseDelay: time.Millisecond, Multiplier: 2}, 1 << 20},
+		{"deep attempts, huge cap", Retry{BaseDelay: time.Millisecond, MaxDelay: math.MaxInt64, Multiplier: 2}, 1 << 20},
+		{"no jitter at cap", Retry{BaseDelay: math.MaxInt64, MaxDelay: math.MaxInt64, Jitter: -1}, 5},
+		{"full jitter at cap", Retry{BaseDelay: math.MaxInt64, MaxDelay: math.MaxInt64, Jitter: 1}, 5},
+		{"zero everything", Retry{}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			src := rng.New(1)
+			for trial := 0; trial < 8; trial++ {
+				d := tc.r.backoff(tc.i, src)
+				if d < 0 {
+					t.Fatalf("backoff(%d) = %v, negative duration", tc.i, d)
+				}
+				max := tc.r.MaxDelay
+				if max <= 0 {
+					max = time.Second
+				}
+				if d > max {
+					t.Fatalf("backoff(%d) = %v over the %v cap", tc.i, d, max)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryBackoffMonotoneUnderCap: away from the overflow boundary the
+// guard must not change ordinary growth — unjittered delays double until
+// the cap and stay there.
+func TestRetryBackoffMonotoneUnderCap(t *testing.T) {
+	r := Retry{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	src := rng.New(1)
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 160 * time.Millisecond, 320 * time.Millisecond,
+		640 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if d := r.backoff(i, src); d != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i, d, w)
 		}
 	}
 }

@@ -215,3 +215,57 @@ func TestGroupWaitDrainsLeaders(t *testing.T) {
 	stop()
 	g.Wait() // must return: the leader saw the canceled run context
 }
+
+// TestGroupLeaderPanicAfterAllWaitersDetachedUnderDrain is the abandoned-
+// flight worst case: the process is draining (run context canceled), every
+// waiter has already detached with its own context error, and THEN the
+// leader panics. The panic must stay contained (no crashed test process),
+// the flight must leave the map so a later call for the same key starts
+// fresh instead of joining a corpse, and Wait must return.
+func TestGroupLeaderPanicAfterAllWaitersDetachedUnderDrain(t *testing.T) {
+	run, drain := context.WithCancel(context.Background())
+	g := NewGroup(run)
+
+	leaderEntered := make(chan struct{})
+	release := make(chan struct{})
+	waiterCtx, detach := context.WithCancel(context.Background())
+	// Detach fires while the leader is parked on release, so the DoContext
+	// below — the flight's only waiter — returns the waiter's context error
+	// long before the leader panics.
+	go func() {
+		<-leaderEntered
+		drain()  // the process drains
+		detach() // ...and the last waiter hangs up
+	}()
+	_, _, err := g.DoContext(waiterCtx, "k", func(ctx context.Context) (any, error) {
+		close(leaderEntered)
+		<-release
+		panic("poisoned solve after drain")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("detached waiter got %v, want context.Canceled", err)
+	}
+
+	// Nobody is listening; now the leader panics.
+	close(release)
+	g.Wait() // contained: Wait returns instead of the process dying
+
+	// The flight left the map: a fresh call for the same key runs fresh
+	// and does not coalesce onto the dead flight.
+	g.mu.Lock()
+	leaked := len(g.flights)
+	g.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d flights leaked after the contained panic", leaked)
+	}
+	before := g.Coalesced()
+	v, joined, err := g.DoContext(context.Background(), "k", func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil || v.(string) != "fresh" {
+		t.Fatalf("fresh call after contained panic: %v, %v", v, err)
+	}
+	if joined || g.Coalesced() != before {
+		t.Fatal("fresh call coalesced onto the dead flight")
+	}
+}

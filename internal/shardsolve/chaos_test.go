@@ -1,0 +1,129 @@
+package shardsolve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lcrb/internal/sketch"
+)
+
+// TestChaosStormTerminates is the chaos gate: concurrent solves against
+// a shared transport under a deterministic mix of kills, stalls,
+// restarts, and transient failures. Every opened solve must terminate —
+// no hangs — and every answer must be internally consistent: degraded
+// iff realizations were lost, effective samples matching the census,
+// protector and gain lists the same length. Run under -race by make ci.
+func TestChaosStormTerminates(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	opts := sketch.Options{Samples: 48, Seed: 7}
+
+	schedules := []Chaos{
+		nil,
+		{1: {{Call: 2, Kind: FaultDie}}},
+		{0: {{Call: 3, Kind: FaultStall}}, 2: {{Call: 5, Kind: FaultStall}}},
+		{1: {{Call: 2, Kind: FaultRestart}}, 3: {{Call: 1, Kind: FaultDie}}},
+		{0: {{Call: 1, Kind: FaultFail}, {Call: 4, Kind: FaultFail}}, 2: {{Call: 2, Kind: FaultDie}}},
+		{0: {{Call: 2, Kind: FaultDie}}, 1: {{Call: 2, Kind: FaultDie}}, 2: {{Call: 3, Kind: FaultStall}}},
+		{3: {{Call: 1, Kind: FaultStall}}, 4: {{Call: 1, Kind: FaultDie}}, 1: {{Call: 6, Kind: FaultRestart}}},
+	}
+
+	const shards = 4
+	var wg sync.WaitGroup
+	results := make([]*Result, len(schedules))
+	errs := make([]error, len(schedules))
+	for i := range schedules {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each storm gets its own hosts and transport (a schedule is
+			// keyed by per-endpoint call counts, so transports cannot be
+			// shared), with two spares behind rebuilding providers.
+			hosts := buildHosts(t, p, opts, shards, 2)
+			c := &Coordinator{
+				Transport:   NewInProc(hosts, schedules[i]),
+				Shards:      shards,
+				HedgeDelay:  3 * time.Millisecond,
+				CallTimeout: 250 * time.Millisecond,
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			results[i], errs[i] = c.SolveContext(ctx, Spec{})
+		}(i)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("chaos storm hung: a solve failed to terminate")
+	}
+
+	for i := range schedules {
+		res, err := results[i], errs[i]
+		if err != nil {
+			// Termination with a real error (e.g. every replica of a shard
+			// lost) is an acceptable outcome; a hang or a lying result is
+			// not.
+			t.Logf("schedule %d: solve failed cleanly: %v", i, err)
+			continue
+		}
+		if res == nil {
+			t.Errorf("schedule %d: nil result without error", i)
+			continue
+		}
+		if (res.Degraded == DegradedShardLoss) != (res.Shards.LostRealizations > 0) {
+			t.Errorf("schedule %d: Degraded=%q but LostRealizations=%d",
+				i, res.Degraded, res.Shards.LostRealizations)
+		}
+		if res.EffectiveSamples != res.Samples-res.Shards.LostRealizations {
+			t.Errorf("schedule %d: EffectiveSamples=%d, Samples=%d, lost=%d",
+				i, res.EffectiveSamples, res.Samples, res.Shards.LostRealizations)
+		}
+		if res.Shards.Total != shards || res.Shards.Live < 1 || res.Shards.Live > shards {
+			t.Errorf("schedule %d: census %+v", i, res.Shards)
+		}
+		if len(res.Protectors) != len(res.Gains) {
+			t.Errorf("schedule %d: %d protectors, %d gains",
+				i, len(res.Protectors), len(res.Gains))
+		}
+		for k, g := range res.Gains {
+			if g <= 0 {
+				t.Errorf("schedule %d: non-positive committed gain %v at %d", i, g, k)
+			}
+		}
+	}
+}
+
+// TestChaosSolveContextCancel cancels a solve stuck on an endpoint that
+// stalls forever with no timeout to cut it loose: the solve must return
+// promptly with the context error, not hang.
+func TestChaosSolveContextCancel(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	opts := sketch.Options{Samples: 16, Seed: 7}
+	hosts := buildHosts(t, p, opts, 2, 0)
+	// Both the primary and its hedge stall: only the solve context can
+	// end the call.
+	chaos := Chaos{1: {{Call: 1, Kind: FaultStall}, {Call: 2, Kind: FaultStall}, {Call: 3, Kind: FaultStall}, {Call: 4, Kind: FaultStall}, {Call: 5, Kind: FaultStall}, {Call: 6, Kind: FaultStall}}}
+	c := &Coordinator{
+		Transport:   NewInProc(hosts, chaos),
+		Shards:      2,
+		HedgeDelay:  time.Millisecond,
+		CallTimeout: -1, // unbounded: nothing but ctx ends a stalled call
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.SolveContext(ctx, Spec{})
+	if err == nil {
+		t.Fatal("canceled solve returned a result")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancel took %v", elapsed)
+	}
+}

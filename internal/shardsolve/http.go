@@ -1,0 +1,106 @@
+package shardsolve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ShardPath is the path shard requests POST to on a shard worker's HTTP
+// server (lcrbd -shard-of serves it).
+const ShardPath = "/v1/shard"
+
+// NewHTTPTransport returns a Transport that delivers requests as JSON
+// POSTs to urls[i] + ShardPath. A nil client means http.DefaultClient;
+// pass one with a Timeout only if it exceeds the coordinator's
+// CallTimeout, or the client will cut hedged attempts short.
+func NewHTTPTransport(urls []string, client *http.Client) Transport {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &httpTransport{urls: urls, client: client}
+}
+
+// httpTransport is the HTTP implementation of Transport.
+type httpTransport struct {
+	urls   []string
+	client *http.Client
+}
+
+// Endpoints implements Transport.
+func (t *httpTransport) Endpoints() int { return len(t.urls) }
+
+// Call implements Transport. Connection failures and 5xx statuses wrap
+// ErrEndpointDown — the shard process is gone or failing, the coordinator
+// should requeue — while 4xx statuses surface as plain errors: the
+// request itself is wrong and no spare will fare better.
+func (t *httpTransport) Call(ctx context.Context, ep int, req *Request) (*Response, error) {
+	if ep < 0 || ep >= len(t.urls) {
+		return nil, fmt.Errorf("shardsolve: http: endpoint %d out of range [0,%d)", ep, len(t.urls))
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("shardsolve: http: encode request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.urls[ep]+ShardPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("shardsolve: http: endpoint %d: %w", ep, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := t.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("shardsolve: http: endpoint %d: %w: %w", ep, ErrEndpointDown, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<24))
+	if err != nil {
+		return nil, fmt.Errorf("shardsolve: http: endpoint %d: read response: %w", ep, err)
+	}
+	if hresp.StatusCode >= 500 {
+		return nil, fmt.Errorf("shardsolve: http: endpoint %d: status %d: %s: %w",
+			ep, hresp.StatusCode, bytes.TrimSpace(data), ErrEndpointDown)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shardsolve: http: endpoint %d: status %d: %s",
+			ep, hresp.StatusCode, bytes.TrimSpace(data))
+	}
+	var resp Response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("shardsolve: http: endpoint %d: decode response: %w", ep, err)
+	}
+	return &resp, nil
+}
+
+// NewHTTPHandler returns the HTTP server side of the shard protocol:
+// POST ShardPath with a JSON Request, get a JSON Response. Malformed
+// requests get 400; host failures (a provider that cannot produce the
+// slice, an out-of-range shard) get 500, which the HTTP transport maps
+// to ErrEndpointDown so the coordinator requeues.
+func NewHTTPHandler(host *Host) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(ShardPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "shard requests must POST", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<24)).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
+			return
+		}
+		resp, err := host.Serve(&req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// The header is gone; nothing to do but note it for the logs.
+			http.Error(w, fmt.Sprintf("encode response: %v", err), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,117 @@
+package shardsolve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// FaultKind enumerates the scripted endpoint faults of a chaos schedule.
+type FaultKind int
+
+const (
+	// FaultFail makes one call return an injected error.
+	FaultFail FaultKind = iota
+	// FaultStall makes one call block until its context ends — a
+	// straggler only a hedge or a per-call timeout gets past.
+	FaultStall
+	// FaultRestart restarts the endpoint's host before serving the call:
+	// cached slices and sessions are dropped, the call itself proceeds
+	// against the cold host.
+	FaultRestart
+	// FaultDie kills the endpoint: this call and every later one fail
+	// with ErrEndpointDown.
+	FaultDie
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultFail:
+		return "fail"
+	case FaultStall:
+		return "stall"
+	case FaultRestart:
+		return "restart"
+	case FaultDie:
+		return "die"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one scripted event: the endpoint's Call-th call (1-based)
+// suffers Kind.
+type Fault struct {
+	Call int
+	Kind FaultKind
+}
+
+// Chaos maps endpoint index → scripted faults. The schedule is keyed by
+// per-endpoint call counts, so a given schedule replays deterministically
+// for a deterministic caller — the chaos tests script exact kill and
+// stall points instead of flipping coins.
+type Chaos map[int][]Fault
+
+// NewInProc returns an in-process Transport over the given hosts, with
+// chaos (nil for none) injected per the schedule. Endpoint i serves
+// through hosts[i]; hosts beyond the coordinator's shard count act as
+// spares.
+func NewInProc(hosts []*Host, chaos Chaos) Transport {
+	return &inproc{hosts: hosts, chaos: chaos, calls: make([]int, len(hosts)), dead: make([]bool, len(hosts))}
+}
+
+// inproc delivers requests by direct method call, with scripted faults.
+type inproc struct {
+	hosts []*Host
+	chaos Chaos
+
+	mu    sync.Mutex
+	calls []int
+	dead  []bool
+}
+
+// Endpoints implements Transport.
+func (t *inproc) Endpoints() int { return len(t.hosts) }
+
+// Call implements Transport: count the call, consult the schedule, then
+// serve through the endpoint's host.
+func (t *inproc) Call(ctx context.Context, ep int, req *Request) (*Response, error) {
+	if ep < 0 || ep >= len(t.hosts) {
+		return nil, fmt.Errorf("shardsolve: inproc: endpoint %d out of range [0,%d)", ep, len(t.hosts))
+	}
+	t.mu.Lock()
+	t.calls[ep]++
+	n := t.calls[ep]
+	var fault *Fault
+	for i := range t.chaos[ep] {
+		if t.chaos[ep][i].Call == n {
+			fault = &t.chaos[ep][i]
+			break
+		}
+	}
+	if fault != nil && fault.Kind == FaultDie {
+		t.dead[ep] = true
+	}
+	dead := t.dead[ep]
+	t.mu.Unlock()
+
+	if dead {
+		return nil, fmt.Errorf("shardsolve: inproc: endpoint %d: %w", ep, ErrEndpointDown)
+	}
+	if fault != nil {
+		switch fault.Kind {
+		case FaultFail:
+			return nil, fmt.Errorf("shardsolve: inproc: endpoint %d: injected failure at call %d", ep, n)
+		case FaultStall:
+			<-ctx.Done()
+			return nil, fmt.Errorf("shardsolve: inproc: endpoint %d: stalled call %d: %w", ep, n, ctx.Err())
+		case FaultRestart:
+			t.hosts[ep].Restart()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("shardsolve: inproc: endpoint %d: %w", ep, err)
+	}
+	return t.hosts[ep].Serve(req)
+}

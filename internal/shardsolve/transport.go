@@ -1,0 +1,95 @@
+package shardsolve
+
+import (
+	"context"
+	"errors"
+)
+
+// Transport ops. One request type with an op discriminant keeps the wire
+// format a single JSON shape for the HTTP transport.
+const (
+	// OpInit asks a shard for its slice metadata and round-0 candidate
+	// counts.
+	OpInit = "init"
+	// OpGains asks a shard for the marginal gains of candidate nodes
+	// against its covered state at the request's committed prefix.
+	OpGains = "gains"
+	// OpCommit asks a shard to commit one node on top of the request's
+	// committed prefix and report the slice-local gain.
+	OpCommit = "commit"
+	// OpForget drops the shard's session for the solve id — end-of-solve
+	// hygiene, best-effort.
+	OpForget = "forget"
+)
+
+// ErrEndpointDown reports a transport endpoint that is not serving —
+// killed by a chaos schedule, or unreachable over HTTP. Test with
+// errors.Is.
+var ErrEndpointDown = errors.New("shardsolve: endpoint down")
+
+// ErrCallTimeout reports a shard call that outlived the coordinator's
+// per-call budget while the solve itself was still live — a straggler
+// both hedge attempts failed to beat. Test with errors.Is.
+var ErrCallTimeout = errors.New("shardsolve: call timed out")
+
+// Request is one coordinator → shard message. Committed always carries
+// the full commit prefix of the solve so far, which is what makes the
+// protocol session-free: any host, fresh spare or restarted process
+// included, can reconcile to the coordinator's state from the request
+// alone.
+type Request struct {
+	// Op is one of OpInit, OpGains, OpCommit, OpForget.
+	Op string `json:"op"`
+	// SolveID names the solve session on the host.
+	SolveID string `json:"solveId"`
+	// Shard and Count are the shard coordinates this endpoint must
+	// serve: the slice of realizations ≡ Shard (mod Count).
+	Shard int `json:"shard"`
+	Count int `json:"count"`
+	// Committed is the full commit prefix, in commit order.
+	Committed []int32 `json:"committed,omitempty"`
+	// Candidates lists the nodes to evaluate (OpGains).
+	Candidates []int32 `json:"candidates,omitempty"`
+	// Node is the node to commit (OpCommit).
+	Node int32 `json:"node"`
+}
+
+// NodeCount is one candidate's round-0 pair count on a shard.
+type NodeCount struct {
+	Node  int32 `json:"node"`
+	Pairs int   `json:"pairs"`
+}
+
+// Response is one shard → coordinator message; which fields are set
+// depends on the request op.
+type Response struct {
+	// Shard echoes the shard index served.
+	Shard int `json:"shard"`
+
+	// OpInit: the slice's global sample count, bridge-end count,
+	// slice-held realization count, slice-local baseline pairs, and
+	// every candidate's pair count, ascending by node.
+	Samples       int         `json:"samples,omitempty"`
+	NumEnds       int         `json:"numEnds,omitempty"`
+	ShardSamples  int         `json:"shardSamples,omitempty"`
+	BaselinePairs int         `json:"baselinePairs,omitempty"`
+	Counts        []NodeCount `json:"counts,omitempty"`
+
+	// OpGains: marginal gains parallel to Request.Candidates.
+	Gains []int `json:"gains,omitempty"`
+
+	// OpCommit: the slice-local gain of the committed node.
+	Gain int `json:"gain"`
+}
+
+// Transport carries coordinator requests to shard endpoints. Endpoints
+// 0..shards−1 serve the shard identities; any extras are spares the
+// coordinator requeues dead identities onto. Implementations must be safe
+// for concurrent Call use — the coordinator scatters to all endpoints at
+// once and hedges duplicates.
+type Transport interface {
+	// Endpoints reports how many endpoints the transport reaches.
+	Endpoints() int
+	// Call delivers req to endpoint ep and returns its response.
+	Call(ctx context.Context, ep int, req *Request) (*Response, error)
+}

@@ -1,0 +1,64 @@
+// Coverage surface for the shard-solve tier (internal/shardsolve): the
+// minimal exported operations a shard host needs to answer scatter-gather
+// requests over its slice — per-candidate pair counts for the round-0
+// frontier, marginal-gain recounts against a caller-held covered bitset,
+// and commits into it. All three run on the same CSR/bitset kernels as the
+// in-process solver (bitset.go), so a host's local gains are exactly the
+// contributions the single-store lazy-greedy loop would have counted for
+// this slice's pairs.
+package sketch
+
+// NumPairs returns the number of coverable pairs in the sketch — the bit
+// capacity a covered Bitset for this set must hold (NewBitset(NumPairs)).
+func (s *Set) NumPairs() int {
+	if s.index == nil {
+		return 0
+	}
+	return s.index.numPairs
+}
+
+// PairCount returns how many of the sketch's RR pairs contain u: u's
+// marginal coverage against an empty covered set, the round-0 value the
+// lazy-greedy frontier starts from. Nodes in no RR set count zero.
+func (s *Set) PairCount(u int32) int {
+	if s.index == nil {
+		return 0
+	}
+	r := s.index.row(u)
+	if r < 0 {
+		return 0
+	}
+	return len(s.index.rowList(r))
+}
+
+// MarginalGain counts u's pairs not yet set in covered — one AndNotCount
+// sweep (or CSR walk for sparse rows), identical to the recount the
+// in-process solver performs. covered must have been sized by NumPairs.
+func (s *Set) MarginalGain(u int32, covered Bitset) int {
+	if s.index == nil {
+		return 0
+	}
+	r := s.index.row(u)
+	if r < 0 {
+		return 0
+	}
+	return s.index.gain(r, covered)
+}
+
+// CommitNode marks u's pairs covered and returns how many were newly
+// covered — the slice-local gain of committing u, the quantity the shard
+// tier gathers per commit. Committing a node twice is a no-op returning 0.
+func (s *Set) CommitNode(u int32, covered Bitset) int {
+	if s.index == nil {
+		return 0
+	}
+	r := s.index.row(u)
+	if r < 0 {
+		return 0
+	}
+	g := s.index.gain(r, covered)
+	if g > 0 {
+		s.index.commit(r, covered)
+	}
+	return g
+}

@@ -163,6 +163,15 @@ type Set struct {
 	MaxSamples int     `json:"maxSamples,omitempty"`
 	BoundMet   bool    `json:"boundMet,omitempty"`
 
+	// ShardIndex/ShardCount mark a shard slice (see shard.go): this Set
+	// holds only the realizations ≡ ShardIndex (mod ShardCount) of the
+	// Samples-realization build, and ShardSamples counts them. All zero on
+	// a full build (ShardCount == 0 is the discriminant), keeping full-
+	// build store bytes unchanged across versions.
+	ShardIndex   int `json:"shardIndex,omitempty"`
+	ShardCount   int `json:"shardCount,omitempty"`
+	ShardSamples int `json:"shardSamples,omitempty"`
+
 	// index inverts Pairs into CSR rows with bitset kernels (bitset.go).
 	// A pure function of Pairs: rebuilt on load, never serialized.
 	index *pairIndex

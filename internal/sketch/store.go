@@ -98,7 +98,10 @@ func mix64(x uint64) uint64 {
 
 // Validate checks that the sketch was built for exactly this problem with
 // its recorded build options, returning an error wrapping ErrStale on any
-// mismatch.
+// mismatch. The error text always carries both fingerprints — the one the
+// sketch stores and the one the problem expects — so a shard operator can
+// read which of graph/rumors/ends/sizing/shard coordinates drifted instead
+// of diffing stores by hand.
 func (s *Set) Validate(p *core.Problem) error {
 	if p == nil {
 		return fmt.Errorf("sketch: validate: nil problem")
@@ -111,8 +114,13 @@ func (s *Set) Validate(p *core.Problem) error {
 			Epsilon: s.Epsilon, Delta: s.Delta, MaxSamples: s.MaxSamples}
 	}
 	want := Fingerprint(p, opts)
+	if s.ShardCount > 0 {
+		// Shard slice: the fingerprint binds the shard coordinates too, so
+		// a slice never validates as the full sketch or another slice.
+		want = ShardFingerprint(p, opts, s.ShardIndex, s.ShardCount)
+	}
 	if s.Fingerprint != want {
-		return fmt.Errorf("sketch: stored %q, expected %q: %w", s.Fingerprint, want, ErrStale)
+		return fmt.Errorf("sketch: validate: found fingerprint %q, expected %q: %w", s.Fingerprint, want, ErrStale)
 	}
 	return nil
 }
@@ -160,10 +168,14 @@ func Load(path, fingerprint string) (*Set, error) {
 		return nil, fmt.Errorf("sketch: load %s: decode: %w", path, err)
 	}
 	if f.Version != StoreVersion {
-		return nil, fmt.Errorf("sketch: load %s: version %d (want %d): %w", path, f.Version, StoreVersion, ErrStale)
+		// Version drift is staleness too, and the fingerprints still tell
+		// the operator which sketch the file was for — keep both in the
+		// text rather than leaving the mismatch opaque.
+		return nil, fmt.Errorf("sketch: load %s: version %d (want %d), found fingerprint %q, expected %q: %w",
+			path, f.Version, StoreVersion, f.Set.Fingerprint, fingerprint, ErrStale)
 	}
 	if f.Set.Fingerprint != fingerprint {
-		return nil, fmt.Errorf("sketch: load %s: stored %q, expected %q: %w", path, f.Set.Fingerprint, fingerprint, ErrStale)
+		return nil, fmt.Errorf("sketch: load %s: found fingerprint %q, expected %q: %w", path, f.Set.Fingerprint, fingerprint, ErrStale)
 	}
 	set := f.Set
 	set.buildIndex()

@@ -27,6 +27,9 @@
 //     (internal/sourceloc)
 //   - resilience primitives for serving solves: retry, circuit breaker,
 //     admission gate, hedging (internal/resilience, served by cmd/lcrbd)
+//   - the sharded scatter-gather RIS solve tier: realization-partitioned
+//     sketch slices solved by a fault-tolerant coordinator, bit-identical
+//     to the single store when all shards survive (internal/shardsolve)
 //
 // # Quick start
 //
@@ -45,6 +48,7 @@ package lcrb
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"lcrb/internal/community"
 	"lcrb/internal/core"
@@ -54,6 +58,7 @@ import (
 	"lcrb/internal/heuristic"
 	"lcrb/internal/resilience"
 	"lcrb/internal/rng"
+	"lcrb/internal/shardsolve"
 	"lcrb/internal/sketch"
 	"lcrb/internal/sourceloc"
 )
@@ -336,6 +341,77 @@ func LoadSketches(path, fingerprint string) (*SketchSet, error) {
 func SketchFingerprint(p *Problem, opts SketchOptions) string {
 	return sketch.Fingerprint(p, opts)
 }
+
+// Re-exported sharded scatter-gather solve types (internal/shardsolve).
+// BuildSketchShard builds shard index's realization-partitioned slice of
+// the sketch; a ShardCoordinator runs the lazy-greedy max-coverage solve
+// across slices held by local or remote hosts, surviving shard death,
+// stragglers and restarts. With every shard live the answer is
+// bit-identical to SolveGreedyRIS over the single store; after shard loss
+// it is an honestly-tagged estimate from the survivors.
+type (
+	// ShardCoordinator scatter-gathers a greedy RIS solve across shard
+	// endpoints; set Transport and Shards, then call SolveContext.
+	ShardCoordinator = shardsolve.Coordinator
+	// ShardSpec parametrizes one sharded solve (alpha, budget,
+	// certificate epsilon).
+	ShardSpec = shardsolve.Spec
+	// ShardResult is the sharded solve's answer with its loss census.
+	ShardResult = shardsolve.Result
+	// ShardsInfo is the shard census of an answer: total, live, and
+	// realizations lost with dead shards.
+	ShardsInfo = shardsolve.ShardsInfo
+	// ShardHost serves one or more sketch slices to coordinators over any
+	// transport; construct with NewShardHost.
+	ShardHost = shardsolve.Host
+	// ShardTransport carries coordinator requests to shard endpoints;
+	// NewShardTransport (in-process) and NewShardHTTPTransport implement
+	// it.
+	ShardTransport = shardsolve.Transport
+	// ShardSliceProvider resolves (index, count) coordinates to a sketch
+	// slice on a host, enabling cold spares that rebuild on demand.
+	ShardSliceProvider = shardsolve.SliceProvider
+)
+
+// DegradedShardLoss tags a ShardResult whose accuracy was downgraded by
+// dead shards (Result.Degraded).
+const DegradedShardLoss = shardsolve.DegradedShardLoss
+
+// BuildSketchShard builds shard index's slice (of count) of the RR-set
+// sketch: the realizations r with r ≡ index (mod count), drawn from the
+// same common-random-number seed stream as BuildSketches, so the union of
+// all slices is bit-for-bit the single-store sketch. Requires fixed
+// sizing (Options.Samples); adaptive builds cannot shard.
+func BuildSketchShard(p *Problem, opts SketchOptions, index, count int) (*SketchSet, error) {
+	return sketch.BuildShardContext(context.Background(), p, opts, index, count)
+}
+
+// NewShardHost returns a shard host serving the slices resolved by
+// provider. StaticShardSlices is the common provider for prebuilt slices.
+func NewShardHost(provider ShardSliceProvider) *ShardHost { return shardsolve.NewHost(provider) }
+
+// StaticShardSlices returns a provider serving exactly the given prebuilt
+// slices, matched by their (index, count) coordinates.
+func StaticShardSlices(sets ...*SketchSet) ShardSliceProvider {
+	return shardsolve.StaticProvider(sets...)
+}
+
+// NewShardTransport returns the in-process transport over the given
+// hosts, endpoint i serving hosts[i]. Chaos injection lives on the
+// internal package; embedders wanting fault scripts should wrap the
+// transport themselves.
+func NewShardTransport(hosts []*ShardHost) ShardTransport { return shardsolve.NewInProc(hosts, nil) }
+
+// NewShardHTTPTransport returns a transport POSTing shard requests to
+// urls[i] + the shard worker path (lcrbd -shard-of workers serve it). A
+// nil client means http.DefaultClient.
+func NewShardHTTPTransport(urls []string, client *http.Client) ShardTransport {
+	return shardsolve.NewHTTPTransport(urls, client)
+}
+
+// NewShardHTTPHandler returns the http.Handler a shard worker mounts to
+// serve its host over HTTP.
+func NewShardHTTPHandler(host *ShardHost) http.Handler { return shardsolve.NewHTTPHandler(host) }
 
 // IsSolverInterruption reports whether err is an expected solver
 // interruption — cancellation, deadline, or budget expiry — rather than a

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -243,5 +244,57 @@ func TestFacadeRobustness(t *testing.T) {
 	}
 	if fault.Calls() == 0 {
 		t.Fatal("fault wrapper never invoked")
+	}
+}
+
+// TestFacadeShardedSolve drives the sharded scatter-gather tier through
+// the public API: build slices, host them, solve through the coordinator,
+// and check bit-identity with the single-store RIS solve.
+func TestFacadeShardedSolve(t *testing.T) {
+	net, err := lcrb.GenerateHep(0.04, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := lcrb.DetectCommunities(net.Graph, 1)
+	comm := part.ClosestBySize(40)
+	members := part.Members(comm)
+	prob, err := lcrb.NewProblem(net.Graph, part.Assign(), comm, members[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.NumEnds() == 0 {
+		t.Skip("no bridge ends for this draw")
+	}
+
+	opts := lcrb.SketchOptions{Samples: 32, Seed: 7}
+	const shards = 3
+	hosts := make([]*lcrb.ShardHost, shards)
+	for i := range hosts {
+		slice, err := lcrb.BuildSketchShard(prob, opts, i, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = lcrb.NewShardHost(lcrb.StaticShardSlices(slice))
+	}
+	c := &lcrb.ShardCoordinator{Transport: lcrb.NewShardTransport(hosts), Shards: shards}
+	res, err := c.Solve(lcrb.ShardSpec{Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != "" || res.Shards.Live != shards {
+		t.Fatalf("clean solve degraded: %+v", res.Shards)
+	}
+
+	set, err := lcrb.BuildSketches(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lcrb.SolveGreedyRIS(prob, set, lcrb.SketchSolveOptions{Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Protectors, want.Protectors) || !reflect.DeepEqual(res.Gains, want.Gains) {
+		t.Fatalf("sharded solve diverged from single store:\n sharded %v %v\n single  %v %v",
+			res.Protectors, res.Gains, want.Protectors, want.Gains)
 	}
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-fix lint-bench ci bench bench-all bench-smoke serve serve-smoke sketch-smoke shard-smoke load-smoke clean
+.PHONY: all build vet test race lint lint-fix lint-bench ci bench bench-all bench-smoke serve serve-smoke sketch-smoke shard-smoke delta-smoke load-smoke clean
 
 all: ci
 
@@ -50,7 +50,7 @@ lint-bench:
 # suppression audit), the lint timing budget, build, the full suite under
 # the race detector, then the sketch, bench-fixture, serving and load
 # smoke tests.
-ci: lint lint-bench build race sketch-smoke shard-smoke bench-smoke serve-smoke load-smoke
+ci: lint lint-bench build race sketch-smoke shard-smoke delta-smoke bench-smoke serve-smoke load-smoke
 
 # sketch-smoke runs the fast RR-set sketch end-to-end check: build
 # bit-identity across worker counts, an α-achieving zero-simulation solve,
@@ -64,6 +64,14 @@ sketch-smoke:
 # answer must match the 2-shard rebuild oracle with honest loss tags.
 shard-smoke:
 	$(GO) run ./cmd/lcrbbench -shard-smoke
+
+# delta-smoke runs the dynamic-graph pipeline end-to-end: a 50-batch
+# mutation stream where, at every version, the incrementally repaired
+# sketch store must be DeepEqual to a full rebuild, the greedy answer must
+# be bit-identical across shard counts 1 and 2, and scripted localized
+# batches must re-draw zero realizations (the footprint-pruning ceiling).
+delta-smoke:
+	$(GO) run ./cmd/lcrbbench -delta-smoke
 
 # bench-smoke re-solves the pinned greedy-RIS instance and fails if the
 # selection (protectors, gains, evaluation count, fingerprint) drifts from

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"lcrb/internal/community"
+	"lcrb/internal/core"
+	"lcrb/internal/dyngraph"
+	"lcrb/internal/gen"
+	"lcrb/internal/rng"
+	"lcrb/internal/shardsolve"
+	"lcrb/internal/sketch"
+)
+
+// runDeltaSmoke is the `make delta-smoke` body: the dynamic-graph pipeline
+// end-to-end in seconds. A 50-batch mutation stream — generated batches
+// interleaved with scripted localized ones — is applied to a master, and
+// at every version three gates must hold:
+//
+//  1. the incrementally repaired sketch store is DeepEqual to a full
+//     rebuild on the snapshot (the differential oracle, store contents
+//     and all);
+//  2. the greedy-RIS answer on the repaired store is bit-identical to the
+//     sharded coordinators at shard counts 1 and 2;
+//  3. localized batches — fresh nodes no existing footprint can contain —
+//     re-draw zero realizations, the repair-count ceiling that proves the
+//     footprint index prunes instead of rebuilding everything.
+func runDeltaSmoke(ctx context.Context, stdout, stderr io.Writer) error {
+	const seed = 1
+	const batches = 50
+	net, err := gen.Hep(0.03, seed)
+	if err != nil {
+		return err
+	}
+	part := community.Louvain(net.Graph, community.LouvainOptions{Seed: seed})
+	comm := part.ClosestBySize(80)
+	members := part.Members(comm)
+	src := rng.New(seed + 100)
+	k := int32(len(members) / 10)
+	if k < 2 {
+		k = 2
+	}
+	var rumors []int32
+	for _, i := range src.SampleInt32(int32(len(members)), k) {
+		rumors = append(rumors, members[i])
+	}
+	prob, err := core.NewProblem(net.Graph, part.Assign(), comm, rumors)
+	if err != nil {
+		return err
+	}
+	if prob.NumEnds() == 0 {
+		return fmt.Errorf("delta smoke: instance has no bridge ends")
+	}
+
+	opts := sketch.Options{Samples: 48, Seed: 7, Footprints: true}
+	start := time.Now()
+	set, err := sketch.BuildContext(ctx, prob, opts)
+	if err != nil {
+		return fmt.Errorf("delta smoke: initial build: %w", err)
+	}
+	m, err := dyngraph.NewMaster(net.Graph)
+	if err != nil {
+		return err
+	}
+	// Every 5th batch is scripted and localized; the rest come from the
+	// generated stream. Localized batches are built at apply time because
+	// their fresh node ids depend on how far the master has grown.
+	stream, err := dyngraph.GenerateStream(net.Graph, batches, seed+900, dyngraph.StreamConfig{})
+	if err != nil {
+		return err
+	}
+	oldP := prob
+	next := 0
+	var localized, repaired, kept, rebuilds int
+	for i := 0; i < batches; i++ {
+		var d dyngraph.Delta
+		scripted := i%5 == 4
+		if scripted {
+			n := m.NumNodes()
+			d = dyngraph.Delta{
+				AddNodes: 2,
+				AddEdges: [][2]int32{{n, n + 1}, {n + 1, n}},
+			}
+			localized++
+		} else {
+			d = stream[next].Delta
+			next++
+		}
+		// The interleave reorders the generated stream's version line, so
+		// each batch re-bases onto the master's current version.
+		d.BaseVersion = m.Version()
+		snap, sum, err := m.ApplyDelta(d)
+		if err != nil {
+			return fmt.Errorf("delta smoke: batch %d: apply: %w", i, err)
+		}
+		assign := append([]int32(nil), oldP.Assign...)
+		for int32(len(assign)) < snap.Graph.NumNodes() {
+			assign = append(assign, -1)
+		}
+		newP, err := core.NewProblem(snap.Graph, assign, oldP.RumorCommunity, oldP.Rumors)
+		if err != nil {
+			return fmt.Errorf("delta smoke: batch %d: problem on snapshot: %w", i, err)
+		}
+
+		// Gate 1: the differential oracle. The repaired store must be
+		// DeepEqual to a from-scratch rebuild at this version — pairs,
+		// baselines, footprints, fingerprint, coverage index and all.
+		got, stats, err := sketch.RepairContext(ctx, oldP, newP, set, sum.DirtyNodes, snap.Version, 2)
+		if err != nil {
+			return fmt.Errorf("delta smoke: batch %d: repair: %w", i, err)
+		}
+		oracle, err := sketch.BuildContext(ctx, newP, opts)
+		if err != nil {
+			return fmt.Errorf("delta smoke: batch %d: oracle build: %w", i, err)
+		}
+		oracle.Version = snap.Version
+		if !reflect.DeepEqual(got, oracle) {
+			return fmt.Errorf("delta smoke: batch %d (version %d): repaired store differs from full rebuild (repaired %d, kept %d, fullRebuild %v)",
+				i, snap.Version, stats.Repaired, stats.Kept, stats.FullRebuild)
+		}
+
+		// Gate 3: the repair-count ceiling. A scripted batch touches only
+		// nodes born this batch, which no existing footprint can contain:
+		// the repair must re-draw nothing.
+		if scripted {
+			if stats.FullRebuild || stats.Repaired != 0 {
+				return fmt.Errorf("delta smoke: batch %d: localized delta re-drew %d realizations (fullRebuild %v), want 0",
+					i, stats.Repaired, stats.FullRebuild)
+			}
+		}
+		repaired += stats.Repaired
+		kept += stats.Kept
+		if stats.FullRebuild {
+			rebuilds++
+		}
+
+		// Gate 2: solve bit-identity across shard counts. The repaired
+		// store's greedy answer must equal the sharded coordinators built
+		// fresh on the same snapshot — the path shard hosts take after a
+		// delta propagates.
+		want, err := sketch.SolveGreedyRISContext(ctx, newP, got, sketch.SolveOptions{Alpha: 0.9})
+		if err != nil {
+			return fmt.Errorf("delta smoke: batch %d: solve: %w", i, err)
+		}
+		for _, shards := range []int{1, 2} {
+			hosts := make([]*shardsolve.Host, shards)
+			for s := range hosts {
+				slice, err := sketch.BuildShardContext(ctx, newP, opts, s, shards)
+				if err != nil {
+					return fmt.Errorf("delta smoke: batch %d: build slice %d/%d: %w", i, s, shards, err)
+				}
+				hosts[s] = shardsolve.NewHost(shardsolve.StaticProvider(slice))
+			}
+			c := &shardsolve.Coordinator{
+				Transport:  shardsolve.NewInProc(hosts, nil),
+				Shards:     shards,
+				HedgeDelay: 5 * time.Millisecond,
+			}
+			res, err := c.SolveContext(ctx, shardsolve.Spec{Alpha: 0.9})
+			if err != nil {
+				return fmt.Errorf("delta smoke: batch %d: %d-shard solve: %w", i, shards, err)
+			}
+			if !reflect.DeepEqual(res.GreedyResult, *want) {
+				return fmt.Errorf("delta smoke: batch %d (version %d): %d-shard solve differs from repaired store:\n sharded %+v\n store   %+v",
+					i, snap.Version, shards, res.GreedyResult, *want)
+			}
+		}
+		set, oldP = got, newP
+	}
+	if kept == 0 {
+		return fmt.Errorf("delta smoke: no batch kept a realization — the footprint index never pruned")
+	}
+	fmt.Fprintf(stdout, "delta smoke: OK (%d batches to version %d, %d localized; %d realizations re-drawn, %d kept, %d full rebuilds; solves bit-identical at shards 1 and 2; %v)\n",
+		batches, m.Version(), localized, repaired, kept, rebuilds, time.Since(start).Round(time.Millisecond))
+	return nil
+}

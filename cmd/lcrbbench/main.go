@@ -69,6 +69,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		perfScale = fs.Float64("perf-scale", 0.08, "network scale of the -perf benchmark instance")
 		smoke     = fs.Bool("sketch-smoke", false, "skip the experiments: run the fast RR-set sketch end-to-end check")
 		shardSmk  = fs.Bool("shard-smoke", false, "skip the experiments: run the sharded scatter-gather solve check with a scripted shard kill")
+		deltaSmk  = fs.Bool("delta-smoke", false, "skip the experiments: run the dynamic-graph check — repair vs rebuild oracle and shard bit-identity across a 50-batch mutation stream")
 		benchFix  = fs.String("bench-smoke", "", "skip the experiments: re-solve the pinned RIS instance and fail if the selection drifts from this committed fixture")
 		benchUpd  = fs.Bool("bench-smoke-update", false, "with -bench-smoke: rewrite the fixture instead of comparing")
 	)
@@ -80,6 +81,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *shardSmk {
 		return runShardSmoke(ctx, stdout, stderr)
+	}
+	if *deltaSmk {
+		return runDeltaSmoke(ctx, stdout, stderr)
 	}
 	if *benchFix != "" {
 		return runBenchSmoke(ctx, *benchFix, *benchUpd, stdout)

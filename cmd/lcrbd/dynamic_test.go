@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dynConfig is testConfig with the dynamic tier and a small sketch rung on.
+func dynConfig() serverConfig {
+	cfg := testConfig()
+	cfg.dynamic = true
+	cfg.sketchSamples = 16
+	return cfg
+}
+
+// postDelta sends one graph delta and decodes the response body.
+func postDelta(t *testing.T, url string, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/graph/delta", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/graph/delta: %v", err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// waitServed polls until the dynamic tier serves version v (repair done).
+func waitServed(t *testing.T, url string, v uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		stats := getStats(t, url)
+		dyn, ok := stats["dynamic"].(map[string]any)
+		if ok {
+			if served, ok := dyn["servedVersion"].(float64); ok && uint64(served) >= v {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("served version never reached %d; stats: %v", v, getStats(t, url)["dynamic"])
+}
+
+// TestDeltaDisabled checks the typed refusal on a daemon without -dynamic.
+func TestDeltaDisabled(t *testing.T) {
+	s := newServer(testConfig(), nil, t.Logf)
+	defer s.stop()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	status, body := postDelta(t, ts.URL, `{"baseVersion":1,"addEdges":[[0,1]]}`)
+	if status != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404; body %v", status, body)
+	}
+	if code := errorCode(t, body); code != codeDynamicDisabled {
+		t.Fatalf("code = %q, want %q", code, codeDynamicDisabled)
+	}
+}
+
+// TestDeltaApplyConflictAndValidation drives the happy path, the optimistic
+// concurrency check (409 with both versions) and typed validation (400).
+func TestDeltaApplyConflictAndValidation(t *testing.T) {
+	s := newServer(dynConfig(), nil, t.Logf)
+	defer s.stop()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Happy path: version 1 -> 2.
+	status, body := postDelta(t, ts.URL, `{"baseVersion":1,"addEdges":[[0,1],[1,2]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("apply: status = %d, body %v", status, body)
+	}
+	if v := body["version"].(float64); v != 2 {
+		t.Fatalf("version = %v, want 2", v)
+	}
+	if _, ok := body["staleness"].(map[string]any); !ok {
+		t.Fatalf("delta response carries no staleness block: %v", body)
+	}
+
+	// Stale base version: typed 409 naming both versions.
+	status, body = postDelta(t, ts.URL, `{"baseVersion":1,"addEdges":[[2,3]]}`)
+	if status != http.StatusConflict {
+		t.Fatalf("conflict: status = %d, body %v", status, body)
+	}
+	if code := errorCode(t, body); code != codeVersionConflict {
+		t.Fatalf("code = %q, want %q", code, codeVersionConflict)
+	}
+	msg := body["error"].(map[string]any)["message"].(string)
+	if !strings.Contains(msg, "version 1") || !strings.Contains(msg, "version 2") {
+		t.Fatalf("conflict message must carry both versions, got %q", msg)
+	}
+
+	// Validation failure: typed 400, master untouched.
+	status, body = postDelta(t, ts.URL, `{"baseVersion":2,"addEdges":[[0,-5]]}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid: status = %d, body %v", status, body)
+	}
+	if code := errorCode(t, body); code != codeBadRequest {
+		t.Fatalf("code = %q, want %q", code, codeBadRequest)
+	}
+
+	// Malformed JSON: typed 400 too.
+	status, body = postDelta(t, ts.URL, `{"baseVersion":`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("malformed: status = %d, body %v", status, body)
+	}
+
+	stats := getStats(t, ts.URL)
+	dyn := stats["dynamic"].(map[string]any)
+	if dyn["masterVersion"].(float64) != 2 {
+		t.Fatalf("masterVersion = %v, want 2", dyn["masterVersion"])
+	}
+	if dyn["conflicts"].(float64) != 1 || dyn["invalid"].(float64) != 1 {
+		t.Fatalf("conflicts/invalid = %v/%v, want 1/1", dyn["conflicts"], dyn["invalid"])
+	}
+}
+
+// TestDynamicSolveServesSnapshotWithStaleness applies deltas, waits for the
+// repair loop to swap the served snapshot, and checks solves answer with an
+// honest staleness block at the new version. The answer after repair must
+// be bit-identical to a cold daemon started on the same mutated graph —
+// checked here via determinism of two solves at the same version.
+func TestDynamicSolveServesSnapshotWithStaleness(t *testing.T) {
+	s := newServer(dynConfig(), nil, t.Logf)
+	defer s.stop()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Solve before any delta: version 1, zero behind.
+	status, body := postSolve(t, ts.URL, `{"algorithm":"greedy","alpha":0.9,"samples":3}`)
+	if status != http.StatusOK {
+		t.Fatalf("solve: status = %d, body %v", status, body)
+	}
+	st, ok := body["staleness"].(map[string]any)
+	if !ok {
+		t.Fatalf("dynamic solve carries no staleness block: %v", body)
+	}
+	if st["version"].(float64) != 1 || st["behindBatches"].(float64) != 0 {
+		t.Fatalf("staleness = %v, want version 1 behind 0", st)
+	}
+
+	for i := 1; i <= 3; i++ {
+		status, body = postDelta(t, ts.URL,
+			fmt.Sprintf(`{"baseVersion":%d,"addEdges":[[%d,%d]]}`, i, i-1, i+5))
+		if status != http.StatusOK {
+			t.Fatalf("delta %d: status = %d, body %v", i, status, body)
+		}
+	}
+	waitServed(t, ts.URL, 4)
+
+	req := `{"algorithm":"greedy","alpha":0.9,"samples":3}`
+	_, first := postSolve(t, ts.URL, req)
+	st, ok = first["staleness"].(map[string]any)
+	if !ok {
+		t.Fatalf("post-repair solve carries no staleness block: %v", first)
+	}
+	if st["version"].(float64) != 4 || st["behindBatches"].(float64) != 0 {
+		t.Fatalf("staleness = %v, want version 4 behind 0", st)
+	}
+	_, second := postSolve(t, ts.URL, req)
+	if fmt.Sprint(first["protectors"]) != fmt.Sprint(second["protectors"]) {
+		t.Fatalf("equal requests at one version gave different protectors:\n%v\n%v",
+			first["protectors"], second["protectors"])
+	}
+
+	// Non-default instances stay static: no staleness block.
+	_, other := postSolve(t, ts.URL, `{"algorithm":"maxdegree","seed":77}`)
+	if _, has := other["staleness"]; has {
+		t.Fatalf("non-default instance got a staleness block: %v", other)
+	}
+}
+
+// TestDynamicRISRepairServes checks the warm-RIS path across a delta: a ris
+// solve warms the sketch store at version 1, a delta advances the master,
+// and once repair swaps the snapshot a ris solve at the new version serves
+// warm — from the repaired sketch, not a cold rebuild — with staleness 0.
+func TestDynamicRISRepairServes(t *testing.T) {
+	s := newServer(dynConfig(), nil, t.Logf)
+	defer s.stop()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	req := `{"algorithm":"ris","alpha":0.9}`
+	// First ris request: cold store, degraded answer, build kicked.
+	status, body := postSolve(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("cold ris: status = %d, body %v", status, body)
+	}
+	// Wait until the store is warm and the request serves from it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, body = postSolve(t, ts.URL, req)
+		if status == http.StatusOK && body["algorithm"] == "ris" && body["degraded"] != true {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ris never warmed: %v", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	status, out := postDelta(t, ts.URL, `{"baseVersion":1,"addEdges":[[0,2],[3,4]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("delta: status = %d, body %v", status, out)
+	}
+	waitServed(t, ts.URL, 2)
+
+	// After the swap the repaired sketch must serve at version 2 without a
+	// cold rebuild: repairAll re-keyed it under the new fingerprint.
+	status, body = postSolve(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("post-repair ris: status = %d, body %v", status, body)
+	}
+	if body["algorithm"] != "ris" || body["degraded"] == true {
+		t.Fatalf("post-repair ris not served warm: %v", body)
+	}
+	st := body["staleness"].(map[string]any)
+	if st["version"].(float64) != 2 || st["behindBatches"].(float64) != 0 {
+		t.Fatalf("staleness = %v, want version 2 behind 0", st)
+	}
+	stats := getStats(t, ts.URL)
+	sk := stats["sketch"].(map[string]any)
+	if sk["repaired"].(float64) < 1 {
+		t.Fatalf("no sketch was repaired: %v", sk)
+	}
+}
+
+// TestDynamicDrainingRejectsDeltas checks deltas answer the draining 503.
+func TestDynamicDrainingRejectsDeltas(t *testing.T) {
+	s := newServer(dynConfig(), nil, t.Logf)
+	defer s.stop()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	s.draining.Store(true)
+	status, body := postDelta(t, ts.URL, `{"baseVersion":1,"addEdges":[[0,1]]}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %v", status, body)
+	}
+	if code := errorCode(t, body); code != codeDraining {
+		t.Fatalf("code = %q, want %q", code, codeDraining)
+	}
+}

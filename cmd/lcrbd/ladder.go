@@ -35,11 +35,11 @@ func (s *server) requestRNG(req *resolvedRequest) *rng.Source {
 // open, generator broken) and dead-before-start contexts surface as
 // errors.
 func (s *server) solve(ctx context.Context, req *resolvedRequest) (*solveResponse, error) {
-	prob, inst, err := s.problem(req)
+	prob, inst, staleness, err := s.problem(req)
 	if err != nil {
 		return nil, err
 	}
-	resp := &solveResponse{NumRumors: len(prob.Rumors), NumEnds: prob.NumEnds()}
+	resp := &solveResponse{NumRumors: len(prob.Rumors), NumEnds: prob.NumEnds(), Staleness: staleness}
 	if prob.NumEnds() == 0 {
 		// Nothing bridges out of the rumor community: the empty set is
 		// exact for every algorithm.
@@ -225,7 +225,9 @@ func (s *server) runGreedy(ctx context.Context, req *resolvedRequest, prob *core
 // uncancellable (the work is bounded and fast) so the bottom rung of the
 // ladder answers even when the request deadline is already gone.
 func (s *server) runHeuristic(sel heuristic.Selector, inst *experiment.Instance, prob *core.Problem, req *resolvedRequest) ([]int32, error) {
-	hctx := heuristic.Context{Graph: inst.Net.Graph, Rumors: prob.Rumors, BridgeEnds: prob.Ends}
+	// prob.Graph, not inst.Net.Graph: in dynamic mode the served snapshot
+	// is the graph the answer is for (they are one and the same statically).
+	hctx := heuristic.Context{Graph: prob.Graph, Rumors: prob.Rumors, BridgeEnds: prob.Ends}
 	budget := len(prob.Rumors)
 	if budget < 1 {
 		budget = 1

@@ -21,8 +21,16 @@
 //	lcrbd -addr 127.0.0.1:8080 -scale 0.05 -deadline 10s -tenants gold:3,bronze:1
 //	curl -XPOST localhost:8080/v1/solve -d '{"alpha":0.9,"algorithm":"auto"}'
 //
-// Endpoints: POST /v1/solve, POST /v1/solve/stream, GET /healthz,
-// GET /readyz, GET /v1/stats.
+// With -dynamic the default instance's network becomes mutable: POST
+// /v1/graph/delta applies a validated batch of edge/node mutations under
+// optimistic concurrency (baseVersion mismatch answers a typed 409), solves
+// keep serving the previous immutable snapshot — tagged with an honest
+// staleness block — while a background loop incrementally repairs the warm
+// RR-set sketches (bit-for-bit identical to a full rebuild) and swaps the
+// served snapshot.
+//
+// Endpoints: POST /v1/solve, POST /v1/solve/stream, POST /v1/graph/delta,
+// GET /healthz, GET /readyz, GET /v1/stats.
 package main
 
 import (
@@ -85,6 +93,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		tenantSpec  = fs.String("tenants", "", "per-tenant admission weights as name:weight,... (unlisted tenants weigh 1)")
 		shardsSpec  = fs.String("shards", "", "sharded RIS tier: a count (in-process) or comma-separated shard worker URLs")
 		shardOf     = fs.String("shard-of", "", "serve POST /v1/shard as slice i/n of the default instance's sketch")
+		dynamic     = fs.Bool("dynamic", false, "mutable default-instance graph behind POST /v1/graph/delta: versioned snapshots, incremental sketch repair")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +123,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if (shardCount > 0 || len(shardURLs) > 0 || shardOfCount > 0) && *sketchN <= 0 && *sketchEps <= 0 {
 		return fmt.Errorf("-shards/-shard-of need the sketch rung: set -sketch-samples or -sketch-eps")
 	}
+	if *dynamic {
+		// Incremental repair patches fixed-size sketches at their realized
+		// counts; the adaptive doubling schedule is not replayed per delta.
+		if *sketchEps > 0 {
+			return fmt.Errorf("-dynamic is incompatible with -sketch-eps: incremental repair needs fixed sketch sizing")
+		}
+		// Shard workers and remote shard hosts hold slices of a graph they
+		// cannot see deltas for; only in-process shards follow the master.
+		if shardOfCount > 0 {
+			return fmt.Errorf("-dynamic is incompatible with -shard-of: shard workers cannot observe graph deltas")
+		}
+		if len(shardURLs) > 0 {
+			return fmt.Errorf("-dynamic is incompatible with remote -shards URLs: use an in-process shard count")
+		}
+	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
 	s := newServer(serverConfig{
@@ -135,6 +159,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		shardURLs:      shardURLs,
 		shardOfIndex:   shardOfIndex,
 		shardOfCount:   shardOfCount,
+		dynamic:        *dynamic,
 	}, chaos, logf)
 
 	ln, err := net.Listen("tcp", *addr)

@@ -65,6 +65,9 @@ type serverConfig struct {
 	// not a worker.
 	shardOfIndex int
 	shardOfCount int
+	// dynamic enables the mutable master graph behind POST /v1/graph/delta
+	// with versioned snapshots and incremental sketch repair.
+	dynamic bool
 }
 
 // solveRequest is the body of POST /v1/solve. Zero fields inherit server
@@ -123,6 +126,9 @@ type solveResponse struct {
 	// the answer: total shards, how many were live at the end, and how
 	// many realizations died with the lost ones.
 	Shards *shardsolve.ShardsInfo `json:"shards,omitempty"`
+	// Staleness reports, in dynamic mode, which snapshot version answered
+	// and how far it trails the master (see dynTier).
+	Staleness *stalenessInfo `json:"staleness,omitempty"`
 	// ElapsedMillis is the serving time.
 	ElapsedMillis int64 `json:"elapsedMillis"`
 }
@@ -150,6 +156,12 @@ const (
 	codeDeadline      = "deadline"
 	codeClientClosed  = "client_closed"
 	codeInternal      = "internal"
+	// codeVersionConflict answers a graph delta whose baseVersion is not
+	// the master's current version (409: retry against the new version).
+	codeVersionConflict = "version_conflict"
+	// codeDynamicDisabled answers /v1/graph/delta on a daemon without
+	// -dynamic.
+	codeDynamicDisabled = "dynamic_disabled"
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client went
@@ -185,7 +197,9 @@ type server struct {
 	// hedge aggregates hedge outcomes across the auto ladder and the shard
 	// coordinator for /v1/stats.
 	shards *shardTier
-	hedge  *resilience.HedgeStats
+	// dyn is the dynamic-graph tier (nil without -dynamic).
+	dyn   *dynTier
+	hedge *resilience.HedgeStats
 	// flights coalesces concurrent identical solves (same fingerprint)
 	// into one execution; leaders run under hardDrain, so an impatient
 	// client detaches without killing the solve other clients wait on.
@@ -234,7 +248,7 @@ func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, ar
 			FailureThreshold: 3,
 			Cooldown:         2 * time.Second,
 		}),
-		sketches:  newSketchStore(cfg.sketchSamples, cfg.sketchEps, cfg.workers, cfg.sketchDir, logf),
+		sketches:  newSketchStore(cfg.sketchSamples, cfg.sketchEps, cfg.workers, cfg.sketchDir, cfg.dynamic, logf),
 		flights:   resilience.NewGroup(hardDrain),
 		latencies: newLatencyWindow(512),
 		started:   time.Now(),
@@ -244,6 +258,7 @@ func newServer(cfg serverConfig, chaos *chaosFaults, logf func(format string, ar
 		hardDrain: hardDrain,
 		hardStop:  hardStop,
 	}
+	s.dyn = newDynTier(s, cfg.dynamic)
 	names := make([]string, 0, len(cfg.tenants))
 	for name := range cfg.tenants {
 		names = append(names, name)
@@ -263,6 +278,7 @@ func (s *server) stop() {
 	s.flights.Wait()
 	s.sketches.drainBuilds()
 	s.shards.wait()
+	s.dyn.wait()
 }
 
 // handler builds the daemon's route table. Every route runs inside the
@@ -275,6 +291,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/graph/delta", s.handleDelta)
 	if s.cfg.shardOfCount > 0 {
 		mux.Handle("POST "+shardsolve.ShardPath, shardsolve.NewHTTPHandler(s.shardWorkerHost()))
 	}
@@ -349,6 +366,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.shards.enabled() {
 		stats["shards"] = s.shards.stats()
+	}
+	if s.dyn.enabled() {
+		stats["dynamic"] = s.dyn.stats()
 	}
 	s.writeJSON(w, stats)
 }
@@ -435,7 +455,14 @@ func requestTenant(r *http.Request, req *resolvedRequest) string {
 func (s *server) solveCoalesced(ctx context.Context, req *resolvedRequest) (*solveResponse, error) {
 	waitCtx, cancel := context.WithTimeout(ctx, req.timeout)
 	defer cancel()
-	v, _, err := s.flights.DoContext(waitCtx, req.fingerprint(), func(run context.Context) (any, error) {
+	key := req.fingerprint()
+	if s.dynEligible(req) {
+		// Dynamic answers depend on the served snapshot: a solve that
+		// coalesced onto a pre-swap leader must not share its answer with
+		// post-swap requests, so the served version joins the key.
+		key = fmt.Sprintf("%s dynVersion=%d", key, s.dyn.servedVersion())
+	}
+	v, _, err := s.flights.DoContext(waitCtx, key, func(run context.Context) (any, error) {
 		s.solves.Add(1)
 		solveCtx, cancel := context.WithTimeout(run, req.timeout)
 		defer cancel()
@@ -656,7 +683,15 @@ func (s *server) instance(req *resolvedRequest) (*experiment.Instance, error) {
 // expensive instance build: repeated build failures open the circuit and
 // later requests fail fast with a typed 503 instead of piling onto a
 // broken generator.
-func (s *server) problem(req *resolvedRequest) (*core.Problem, *experiment.Instance, error) {
+//
+// In dynamic mode, requests for the master's instance build their problem
+// on the served snapshot instead of the instance's original graph, and the
+// returned staleness block says which version answered; every other path
+// returns a nil staleness.
+func (s *server) problem(req *resolvedRequest) (*core.Problem, *experiment.Instance, *stalenessInfo, error) {
+	if s.dynEligible(req) {
+		return s.dyn.problemFor(req)
+	}
 	var inst *experiment.Instance
 	err := s.breaker.DoContext(s.hardDrain, func(context.Context) error {
 		var err error
@@ -664,13 +699,13 @@ func (s *server) problem(req *resolvedRequest) (*core.Problem, *experiment.Insta
 		return err
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("build instance: %w", err)
+		return nil, nil, nil, fmt.Errorf("build instance: %w", err)
 	}
 	prob, err := inst.NewProblem(req.RumorFraction, s.requestRNG(req))
 	if err != nil {
-		return nil, nil, fmt.Errorf("build problem: %w", err)
+		return nil, nil, nil, fmt.Errorf("build problem: %w", err)
 	}
-	return prob, inst, nil
+	return prob, inst, nil, nil
 }
 
 // writeJSON emits a 200 JSON body. Encode failures cannot be masked — the

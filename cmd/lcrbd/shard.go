@@ -38,6 +38,7 @@ type shardTier struct {
 	solves   atomic.Int64
 	degraded atomic.Int64
 	cold     atomic.Int64
+	flushes  atomic.Int64
 }
 
 // parseShards parses the -shards spec: an integer for in-process
@@ -201,6 +202,25 @@ func (t *shardTier) warmHosts(prob *core.Problem, opts sketch.Options) []*shards
 	return nil
 }
 
+// flush evicts every warm in-process host set. The dynamic repair loop
+// calls it after a served-snapshot swap: the old fingerprints can never
+// match again, and the next sharded solve rebuilds its slices against the
+// new snapshot through warmHosts — the same rebuild-from-coordinates path
+// a restarted shard worker takes.
+func (t *shardTier) flush() {
+	if t == nil || t.count == 0 {
+		return
+	}
+	t.mu.Lock()
+	n := len(t.hosts)
+	t.hosts = make(map[string][]*shardsolve.Host)
+	t.mu.Unlock()
+	if n > 0 {
+		t.flushes.Add(1)
+		t.logf("lcrbd: shard tier: flushed %d warm host sets after snapshot swap", n)
+	}
+}
+
 // stats reports the tier's counters for /v1/stats.
 func (t *shardTier) stats() map[string]any {
 	mode := "inproc"
@@ -217,6 +237,7 @@ func (t *shardTier) stats() map[string]any {
 		"solves":   t.solves.Load(),
 		"degraded": t.degraded.Load(),
 		"cold":     t.cold.Load(),
+		"flushes":  t.flushes.Load(),
 		"warmSets": warm,
 	}
 }
@@ -236,7 +257,7 @@ func (s *server) shardWorkerHost() *shardsolve.Host {
 		if err != nil {
 			return nil, err
 		}
-		prob, _, err := s.problem(req)
+		prob, _, _, err := s.problem(req)
 		if err != nil {
 			return nil, err
 		}

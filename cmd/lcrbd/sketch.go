@@ -7,11 +7,13 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lcrb/internal/core"
+	"lcrb/internal/dyngraph"
 	"lcrb/internal/sketch"
 )
 
@@ -30,10 +32,14 @@ type sketchStore struct {
 	eps     float64
 	workers int
 	dir     string
+	// dynamic marks the daemon's -dynamic mode: builds record per-
+	// realization footprints (the repair index) and bind to the graph
+	// version they were built at.
+	dynamic bool
 	logf    func(format string, args ...any)
 
 	mu       sync.Mutex
-	sets     map[string]*sketch.Set
+	sets     map[string]*sketchEntry
 	built    map[string]time.Time
 	building map[string]bool
 	// wg tracks in-flight build goroutines so shutdown can wait for them
@@ -46,12 +52,23 @@ type sketchStore struct {
 	stale       atomic.Int64
 	builds      atomic.Int64
 	buildErrors atomic.Int64
+	repaired    atomic.Int64
+}
+
+// sketchEntry is one warm sketch plus the problem it answers for — kept so
+// the dynamic repair loop can rebind the entry to a mutated graph without
+// re-deriving the instance (the rumor set and community are version-
+// invariant; only the graph and the recomputed ends change).
+type sketchEntry struct {
+	set  *sketch.Set
+	prob *core.Problem
+	opts sketch.Options
 }
 
 // newSketchStore returns a store building samples-realization sketches —
 // or adaptively sized ones when eps is positive (eps overrides samples) —
 // or nil when both are 0 (the RIS rung disabled).
-func newSketchStore(samples int, eps float64, workers int, dir string, logf func(format string, args ...any)) *sketchStore {
+func newSketchStore(samples int, eps float64, workers int, dir string, dynamic bool, logf func(format string, args ...any)) *sketchStore {
 	if samples <= 0 && eps <= 0 {
 		return nil
 	}
@@ -60,8 +77,9 @@ func newSketchStore(samples int, eps float64, workers int, dir string, logf func
 		eps:      eps,
 		workers:  workers,
 		dir:      dir,
+		dynamic:  dynamic,
 		logf:     logf,
-		sets:     make(map[string]*sketch.Set),
+		sets:     make(map[string]*sketchEntry),
 		built:    make(map[string]time.Time),
 		building: make(map[string]bool),
 	}
@@ -86,6 +104,9 @@ func (st *sketchStore) options(req *resolvedRequest) sketch.Options {
 	} else {
 		opts.Samples = st.samples
 	}
+	// Dynamic mode records footprints so deltas repair the warm store
+	// instead of rebuilding it; the fingerprint ignores the flag.
+	opts.Footprints = st.dynamic
 	return opts
 }
 
@@ -99,21 +120,38 @@ func (st *sketchStore) path(fingerprint string) string {
 // get returns the warm sketch for the problem, consulting memory first and
 // the persistent directory second. It returns nil on a cold or stale
 // store and counts the outcome.
-func (st *sketchStore) get(prob *core.Problem, opts sketch.Options) *sketch.Set {
+//
+// version is the graph version the answer must be current for (0 = static
+// serving, no version binding). The fingerprint already pins the adjacency
+// hash, but a mutation batch and its inverse restore the hash while the
+// sketch trails — the version check catches exactly that case, in memory
+// and (via sketch.LoadVersioned) on disk.
+func (st *sketchStore) get(prob *core.Problem, opts sketch.Options, version uint64) *sketch.Set {
 	fp := sketch.Fingerprint(prob, opts)
 	st.mu.Lock()
-	set := st.sets[fp]
+	entry := st.sets[fp]
+	if entry != nil && version > 0 && entry.set.Version != version {
+		delete(st.sets, fp)
+		entry = nil
+		st.stale.Add(1)
+	}
 	st.mu.Unlock()
-	if set != nil {
+	if entry != nil {
 		st.hits.Add(1)
-		return set
+		return entry.set
 	}
 	if st.dir != "" {
-		set, err := sketch.Load(st.path(fp), fp)
+		var set *sketch.Set
+		var err error
+		if version > 0 {
+			set, err = sketch.LoadVersioned(st.path(fp), fp, version)
+		} else {
+			set, err = sketch.Load(st.path(fp), fp)
+		}
 		switch {
 		case err == nil:
 			st.mu.Lock()
-			st.sets[fp] = set
+			st.sets[fp] = &sketchEntry{set: set, prob: prob, opts: opts}
 			if _, ok := st.built[fp]; !ok {
 				st.built[fp] = time.Now()
 			}
@@ -138,7 +176,10 @@ func (st *sketchStore) get(prob *core.Problem, opts sketch.Options) *sketch.Set 
 // hard-drain context, not the request's), so an impatient client cannot
 // abandon a build every later request would have reused, while a draining
 // daemon still cancels it.
-func (st *sketchStore) ensure(ctx context.Context, prob *core.Problem, opts sketch.Options) {
+// version is the graph version the build is for (0 = static); it is
+// stamped into the set before it becomes visible, so the version binding
+// holds in memory and on disk alike.
+func (st *sketchStore) ensure(ctx context.Context, prob *core.Problem, opts sketch.Options, version uint64) {
 	fp := sketch.Fingerprint(prob, opts)
 	st.mu.Lock()
 	if st.sets[fp] != nil || st.building[fp] {
@@ -163,8 +204,9 @@ func (st *sketchStore) ensure(ctx context.Context, prob *core.Problem, opts sket
 			st.logf("lcrbd: sketch build failed: %v", err)
 			return
 		}
+		set.Version = version
 		st.mu.Lock()
-		st.sets[fp] = set
+		st.sets[fp] = &sketchEntry{set: set, prob: prob, opts: opts}
 		st.built[fp] = time.Now()
 		st.mu.Unlock()
 		if st.dir != "" {
@@ -201,8 +243,8 @@ func (st *sketchStore) stats() map[string]any {
 	// under -sketch-eps this is what the adaptive rule actually spent, the
 	// operator's view of the stopping rule at work.
 	realized := 0
-	for _, set := range st.sets {
-		realized += set.Samples
+	for _, entry := range st.sets {
+		realized += entry.set.Samples
 	}
 	var newest time.Time
 	for _, at := range st.built {
@@ -217,6 +259,7 @@ func (st *sketchStore) stats() map[string]any {
 		"stale":           st.stale.Load(),
 		"builds":          st.builds.Load(),
 		"buildErrors":     st.buildErrors.Load(),
+		"repaired":        st.repaired.Load(),
 		"entries":         entries,
 		"realizedSamples": realized,
 		"adaptive":        st.eps > 0,
@@ -251,9 +294,15 @@ func (s *server) runRIS(ctx context.Context, req *resolvedRequest, prob *core.Pr
 			return out, nil
 		}
 	}
-	set := s.sketches.get(prob, opts)
+	// In dynamic mode the response carries the served snapshot version the
+	// problem was built on; the store binds warm sketches to it.
+	var version uint64
+	if resp.Staleness != nil {
+		version = resp.Staleness.Version
+	}
+	set := s.sketches.get(prob, opts, version)
 	if set == nil {
-		s.sketches.ensure(s.hardDrain, prob, opts)
+		s.sketches.ensure(s.hardDrain, prob, opts, version)
 		return nil, nil
 	}
 	res, err := sketch.SolveGreedyRISContext(ctx, prob, set, sketch.SolveOptions{Alpha: req.Alpha})
@@ -266,4 +315,89 @@ func (s *server) runRIS(ctx context.Context, req *resolvedRequest, prob *core.Pr
 	out.ProtectedEnds = res.ProtectedEnds
 	out.Achieved = res.Achieved
 	return &out, nil
+}
+
+// extendAssign pads a community assignment to n nodes; nodes born after
+// community detection get -1 (no community), the dynamic-serving convention
+// shared with experiment.NewProblemOn.
+func extendAssign(assign []int32, n int32) []int32 {
+	out := append([]int32(nil), assign...)
+	for int32(len(out)) < n {
+		out = append(out, -1)
+	}
+	return out
+}
+
+// repairAll patches every warm sketch built at graph version oldVersion
+// onto the target snapshot via sketch.Repair: only realizations whose
+// recorded footprints intersect the dirty nodes re-draw, and the result is
+// bit-for-bit the full rebuild at the new version. Each repaired entry is
+// re-keyed under its new fingerprint (the adjacency hash changed), stamped
+// with the new version, and re-persisted when -sketch-dir is set. Entries
+// that fail to repair are dropped — their fingerprints can never match a
+// future request, so keeping them would only leak memory.
+func (st *sketchStore) repairAll(ctx context.Context, oldVersion uint64, target *dyngraph.Snapshot, dirty []int32) (repaired, kept, rebuilds, errs int) {
+	st.mu.Lock()
+	fps := make([]string, 0, len(st.sets))
+	for fp, entry := range st.sets {
+		if entry.set.Version == oldVersion {
+			fps = append(fps, fp)
+		}
+	}
+	st.mu.Unlock()
+	sort.Strings(fps)
+
+	for _, fp := range fps {
+		st.mu.Lock()
+		entry := st.sets[fp]
+		st.mu.Unlock()
+		if entry == nil || entry.set.Version != oldVersion {
+			continue // raced with another repair pass
+		}
+		newP, err := core.NewProblem(target.Graph,
+			extendAssign(entry.prob.Assign, target.Graph.NumNodes()),
+			entry.prob.RumorCommunity, entry.prob.Rumors)
+		if err != nil {
+			errs++
+			st.dropEntry(fp, entry)
+			st.logf("lcrbd: sketch repair: rebind problem: %v", err)
+			continue
+		}
+		set, stats, err := sketch.RepairContext(ctx, entry.prob, newP, entry.set, dirty, target.Version, st.workers)
+		if err != nil {
+			errs++
+			st.dropEntry(fp, entry)
+			st.logf("lcrbd: sketch repair: %v", err)
+			continue
+		}
+		repaired += stats.Repaired
+		kept += stats.Kept
+		if stats.FullRebuild {
+			rebuilds++
+		}
+		newFP := set.Fingerprint
+		st.mu.Lock()
+		if st.sets[fp] == entry {
+			delete(st.sets, fp)
+		}
+		st.sets[newFP] = &sketchEntry{set: set, prob: newP, opts: entry.opts}
+		st.built[newFP] = time.Now()
+		st.mu.Unlock()
+		st.repaired.Add(1)
+		if st.dir != "" {
+			if err := sketch.Save(st.path(newFP), set); err != nil {
+				st.logf("lcrbd: sketch repair save: %v", err)
+			}
+		}
+	}
+	return repaired, kept, rebuilds, errs
+}
+
+// dropEntry removes a dead entry, guarding against a concurrent replacement.
+func (st *sketchStore) dropEntry(fp string, entry *sketchEntry) {
+	st.mu.Lock()
+	if st.sets[fp] == entry {
+		delete(st.sets, fp)
+	}
+	st.mu.Unlock()
 }

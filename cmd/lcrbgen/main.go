@@ -6,6 +6,13 @@
 //
 //	lcrbgen -dataset hep -scale 0.1 -out hep.txt -communities hep.comm
 //	lcrbgen -dataset custom -nodes 5000 -avgdeg 8 -out net.txt
+//	lcrbgen -dataset hep -scale 0.05 -out hep.txt -deltas 50
+//
+// With -deltas N the command also emits a deterministic mutation stream:
+// N timestamped batches of edge/node mutations (JSONL, one dyngraph
+// StreamDelta per line) that apply cleanly in order starting from the
+// generated graph at version 1 — replayable against lcrbd -dynamic via
+// POST /v1/graph/delta.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"lcrb/internal/dyngraph"
 	"lcrb/internal/gen"
 	"lcrb/internal/graph"
 )
@@ -39,9 +47,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		symmetric   = fs.Bool("symmetric", false, "custom: make all edges reciprocal")
 		out         = fs.String("out", "", "output edge-list path (default stdout)")
 		communities = fs.String("communities", "", "optional output path for the planted community assignment")
+		deltas      = fs.Int("deltas", 0, "also emit a deterministic timestamped mutation stream of this many batches (JSONL)")
+		deltasOut   = fs.String("deltas-out", "", "mutation stream output path (default <out>.deltas.jsonl; requires -out with -deltas)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *deltas < 0 {
+		return fmt.Errorf("-deltas %d must not be negative", *deltas)
+	}
+	if *deltas > 0 && *deltasOut == "" && *out == "" {
+		return fmt.Errorf("-deltas needs -deltas-out (or -out to derive it from)")
 	}
 
 	var (
@@ -87,6 +103,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
+	}
+	if *deltas > 0 {
+		path := *deltasOut
+		if path == "" {
+			path = *out + ".deltas.jsonl"
+		}
+		// The stream seed is offset from the graph seed so edge generation
+		// and mutation sampling stay independent draws; both remain pure
+		// functions of -seed, so re-running the command rewrites identical
+		// bytes — graph and stream alike.
+		stream, err := dyngraph.GenerateStream(net.Graph, *deltas, *seed+900, dyngraph.StreamConfig{})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := dyngraph.WriteStream(f, stream); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %d mutation batches to %s\n", len(stream), path)
 	}
 	fmt.Fprintf(stderr, "generated %s: %d communities planted\n", net.Graph, net.NumCommunities)
 	return nil

@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"lcrb/internal/dyngraph"
 	"lcrb/internal/graph"
 )
 
@@ -96,5 +98,68 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Fatal("same seed produced different outputs")
+	}
+}
+
+// TestRunDeltas checks -deltas: the stream is written, deterministic, and
+// applies cleanly in order against the generated graph from version 1.
+func TestRunDeltas(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "net.txt")
+	args := []string{"-dataset", "custom", "-nodes", "200", "-seed", "5", "-out", out, "-deltas", "12"}
+	if err := run(args, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(out + ".deltas.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(out + ".deltas.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("same seed produced different mutation streams")
+	}
+
+	stream, err := dyngraph.ReadStream(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != 12 {
+		t.Fatalf("stream has %d batches, want 12", len(stream))
+	}
+	el, err := graph.ReadEdgeListFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dyngraph.NewMaster(el.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sd := range stream {
+		if sd.Time == "" {
+			t.Fatalf("batch %d carries no timestamp", i)
+		}
+		if _, _, err := m.ApplyDelta(sd.Delta); err != nil {
+			t.Fatalf("batch %d does not apply cleanly: %v", i, err)
+		}
+	}
+
+	// An explicit -deltas-out wins over the derived path.
+	alt := filepath.Join(dir, "alt.jsonl")
+	if err := run(append(args, "-deltas-out", alt), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(alt); err != nil {
+		t.Fatal(err)
+	}
+
+	// -deltas with neither -out nor -deltas-out is refused.
+	if err := run([]string{"-dataset", "custom", "-nodes", "100", "-deltas", "3"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-deltas without an output path accepted")
 	}
 }

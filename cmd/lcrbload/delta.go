@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"lcrb/internal/rng"
+)
+
+// deltaStorm drives the mixed solve+delta profile against a -dynamic
+// daemon: while the open-loop solve schedule runs, a second loop fires
+// graph deltas at its own rate and measures, per accepted delta, the
+// repair lag — the time until /v1/stats reports the served snapshot caught
+// up to the version the delta produced. Version conflicts (another writer,
+// or a stale local view) are counted and resolved by re-reading the
+// master version; they are part of the protocol, not errors.
+type deltaStorm struct {
+	client *http.Client
+	url    string
+	rate   float64
+	span   int32 // mutation endpoints are drawn from [0, span)
+	seed   uint64
+}
+
+// deltaStormResult is what one storm run reports.
+type deltaStormResult struct {
+	issued       int
+	conflicts    int
+	errors       int
+	lags         []time.Duration
+	finalVersion uint64
+}
+
+// masterVersion reads the dynamic master version from /v1/stats (0 when
+// the daemon is not dynamic or the tier has not initialized).
+func (d *deltaStorm) masterVersion() uint64 {
+	stats := fetchStats(d.client, d.url)
+	dyn, _ := stats["dynamic"].(map[string]any)
+	m, _ := dyn["masterVersion"].(float64)
+	return uint64(m)
+}
+
+// servedVersion reads the served snapshot version from /v1/stats.
+func (d *deltaStorm) servedVersion() uint64 {
+	stats := fetchStats(d.client, d.url)
+	dyn, _ := stats["dynamic"].(map[string]any)
+	v, _ := dyn["servedVersion"].(float64)
+	return uint64(v)
+}
+
+// run fires deltas until ctx is done or the duration elapses. Each delta
+// adds or removes edges among the span's node ids, drawn from the seeded
+// stream so equal flags replay equal mutation sequences.
+func (d *deltaStorm) run(ctx context.Context, duration time.Duration) *deltaStormResult {
+	res := &deltaStormResult{}
+	src := rng.New(d.seed)
+	version := d.masterVersion()
+	if version == 0 {
+		version = 1 // tier initializes on the first delta
+	}
+	interval := time.Duration(float64(time.Second) / d.rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.NewTimer(duration)
+	defer stop.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return res
+		case <-stop.C:
+			return res
+		case <-ticker.C:
+		}
+		var edges []string
+		for k := 0; k < 2; k++ {
+			u := src.Int32n(d.span)
+			v := src.Int32n(d.span)
+			if u == v {
+				continue
+			}
+			edges = append(edges, fmt.Sprintf("[%d,%d]", u, v))
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		field := "addEdges"
+		if src.Bool(0.3) {
+			field = "removeEdges"
+		}
+		body := fmt.Sprintf(`{"baseVersion":%d,%q:[%s]}`, version, field, strings.Join(edges, ","))
+		status, out, err := d.post(body)
+		switch {
+		case err != nil:
+			res.errors++
+		case status == http.StatusOK:
+			res.issued++
+			v, _ := out["version"].(float64)
+			version = uint64(v)
+			res.finalVersion = version
+			if lag, ok := d.awaitServed(ctx, version); ok {
+				res.lags = append(res.lags, lag)
+			}
+		case status == http.StatusConflict:
+			res.conflicts++
+			if v := d.masterVersion(); v > 0 {
+				version = v
+			}
+		default:
+			res.errors++
+		}
+	}
+}
+
+// post sends one delta body.
+func (d *deltaStorm) post(body string) (int, map[string]any, error) {
+	resp, err := d.client.Post(d.url+"/v1/graph/delta", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// awaitServed polls /v1/stats until the served snapshot reaches version,
+// returning the elapsed repair lag. It gives up (false) after 30 seconds
+// or when ctx ends, so a wedged repair loop fails the measurement, not the
+// whole run.
+func (d *deltaStorm) awaitServed(ctx context.Context, version uint64) (time.Duration, bool) {
+	start := time.Now()
+	deadline := start.Add(30 * time.Second)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		if d.servedVersion() >= version {
+			return time.Since(start), true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return 0, false
+}
+
+// reportDelta is the delta section of BENCH_serve.json: issued/conflict
+// counts, repair-lag percentiles, and the stale-serve rate — the fraction
+// of staleness-tagged solve answers that served behind the master.
+type reportDelta struct {
+	Issued             int           `json:"issued"`
+	Conflicts          int           `json:"conflicts"`
+	Errors             int           `json:"errors"`
+	FinalMasterVersion uint64        `json:"finalMasterVersion"`
+	RepairLag          reportLatency `json:"repairLag"`
+	StaleServes        int           `json:"staleServes"`
+	StaleServeRate     float64       `json:"staleServeRate"`
+}

@@ -10,11 +10,19 @@
 // -solve-seeds pool keeps identical requests colliding in flight, which is
 // what exercises the daemon's single-flight coalescing.
 //
+// Against a -dynamic daemon, -delta-rate adds a mixed solve+delta storm:
+// a second seeded loop fires graph deltas at /v1/graph/delta while solves
+// keep arriving, and the report grows a "delta" section with repair-lag
+// percentiles (delta accepted -> served snapshot caught up) and the
+// stale-serve rate (solve answers that admitted serving behind the master).
+//
 // Usage:
 //
 //	lcrbd -addr 127.0.0.1:8080 &
 //	lcrbload -url http://127.0.0.1:8080 -rate 40 -duration 10s \
 //	    -tenants gold:3,bronze:1 -out BENCH_serve.json
+//	lcrbd -addr 127.0.0.1:8080 -dynamic &
+//	lcrbload -url http://127.0.0.1:8080 -rate 20 -delta-rate 2 -duration 10s
 package main
 
 import (
@@ -138,11 +146,13 @@ func buildPlan(n int, seed uint64, tenants []weightedName, algorithms, datasets 
 
 // outcome classifies one request's answer.
 type outcome struct {
-	latency  time.Duration
-	status   int
-	code     string // envelope code on non-200s
-	degraded bool
-	err      error // transport or decode failure
+	latency    time.Duration
+	status     int
+	code       string // envelope code on non-200s
+	degraded   bool
+	staleness  bool  // answer carried a staleness block (dynamic daemon)
+	staleServe bool  // ...and it admitted serving behind the master
+	err        error // transport or decode failure
 }
 
 // report is the BENCH_serve.json schema.
@@ -151,6 +161,7 @@ type report struct {
 	Requests reportRequests `json:"requests"`
 	Latency  reportLatency  `json:"latency"`
 	Rates    reportRates    `json:"rates"`
+	Delta    *reportDelta   `json:"delta,omitempty"`
 	Server   map[string]any `json:"serverStatsDelta,omitempty"`
 }
 
@@ -165,6 +176,8 @@ type reportConfig struct {
 	SolveSeeds    int     `json:"solveSeeds"`
 	Samples       int     `json:"samples"`
 	TimeoutMillis int64   `json:"timeoutMillis"`
+	DeltaRate     float64 `json:"deltaRatePerSecond,omitempty"`
+	DeltaSpan     int     `json:"deltaSpan,omitempty"`
 }
 
 type reportRequests struct {
@@ -257,6 +270,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		solveSeeds = fs.Int("solve-seeds", 2, "distinct solve seeds in the mix (small pools collide in flight and coalesce)")
 		samples    = fs.Int("samples", 3, "σ̂ samples per solve request")
 		timeoutMs  = fs.Int64("request-timeout", 4000, "per-request solve deadline in milliseconds")
+		deltaRate  = fs.Float64("delta-rate", 0, "graph-delta arrival rate per second against a -dynamic daemon (0 = solve-only profile)")
+		deltaSpan  = fs.Int("delta-span", 64, "mutation endpoints are drawn from node ids [0, span)")
 		out        = fs.String("out", "BENCH_serve.json", "report output path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -264,6 +279,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *rate <= 0 {
 		return fmt.Errorf("-rate %v must be positive", *rate)
+	}
+	if *deltaRate < 0 {
+		return fmt.Errorf("-delta-rate %v must not be negative", *deltaRate)
+	}
+	if *deltaRate > 0 && *deltaSpan < 2 {
+		return fmt.Errorf("-delta-span %d needs at least two nodes to draw edges", *deltaSpan)
 	}
 	if *solveSeeds < 1 {
 		return fmt.Errorf("-solve-seeds %d must be positive", *solveSeeds)
@@ -284,6 +305,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	before := fetchStats(client, *url)
 
 	fmt.Fprintf(stdout, "lcrbload: %d requests at %.1f/s against %s\n", n, *rate, *url)
+
+	// The delta storm runs beside the solve schedule: same wall-clock
+	// window, its own seeded mutation stream, repair lag measured per
+	// accepted delta.
+	var stormRes *deltaStormResult
+	var stormWG sync.WaitGroup
+	if *deltaRate > 0 {
+		storm := &deltaStorm{
+			client: client, url: *url, rate: *deltaRate,
+			span: int32(*deltaSpan), seed: *seed + 77,
+		}
+		stormWG.Add(1)
+		go func() {
+			defer stormWG.Done()
+			stormRes = storm.run(ctx, *duration)
+		}()
+	}
+
 	interval := time.Duration(float64(time.Second) / *rate)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -305,6 +344,7 @@ fireLoop:
 		}(i)
 	}
 	wg.Wait()
+	stormWG.Wait()
 	after := fetchStats(client, *url)
 
 	var reqs reportRequests
@@ -350,6 +390,36 @@ fireLoop:
 	if answered := reqs.OK + reqs.OKDegraded; answered > 0 {
 		rates.Degraded = float64(reqs.OKDegraded) / float64(answered)
 	}
+	var deltaRep *reportDelta
+	if stormRes != nil {
+		deltaRep = &reportDelta{
+			Issued:             stormRes.issued,
+			Conflicts:          stormRes.conflicts,
+			Errors:             stormRes.errors,
+			FinalMasterVersion: stormRes.finalVersion,
+		}
+		sort.Slice(stormRes.lags, func(i, j int) bool { return stormRes.lags[i] < stormRes.lags[j] })
+		deltaRep.RepairLag = reportLatency{Count: len(stormRes.lags)}
+		if len(stormRes.lags) > 0 {
+			deltaRep.RepairLag.P50Millis = millis(percentile(stormRes.lags, 0.50))
+			deltaRep.RepairLag.P99Millis = millis(percentile(stormRes.lags, 0.99))
+			deltaRep.RepairLag.P999Mills = millis(percentile(stormRes.lags, 0.999))
+			deltaRep.RepairLag.MaxMillis = millis(stormRes.lags[len(stormRes.lags)-1])
+		}
+		tagged := 0
+		for _, o := range outcomes[:issued] {
+			if o.err == nil && o.staleness {
+				tagged++
+				if o.staleServe {
+					deltaRep.StaleServes++
+				}
+			}
+		}
+		if tagged > 0 {
+			deltaRep.StaleServeRate = float64(deltaRep.StaleServes) / float64(tagged)
+		}
+	}
+
 	rep := report{
 		Config: reportConfig{
 			URL: *url, Rate: *rate, DurationSecs: duration.Seconds(), Seed: *seed,
@@ -359,6 +429,11 @@ fireLoop:
 		Requests: reqs,
 		Latency:  lat,
 		Rates:    rates,
+		Delta:    deltaRep,
+	}
+	if *deltaRate > 0 {
+		rep.Config.DeltaRate = *deltaRate
+		rep.Config.DeltaSpan = *deltaSpan
 	}
 	if before != nil && after != nil && issued > 0 {
 		rates.CoalesceHit = statDelta(before, after, "coalesced") / float64(issued)
@@ -386,6 +461,15 @@ fireLoop:
 				"cold":     nestedDelta(before, after, "shards", "cold"),
 			}
 		}
+		// Likewise the dynamic section, on -dynamic daemons.
+		if _, dynamic := after["dynamic"]; dynamic {
+			rep.Server["dynamic"] = map[string]any{
+				"deltas":      nestedDelta(before, after, "dynamic", "deltas"),
+				"conflicts":   nestedDelta(before, after, "dynamic", "conflicts"),
+				"repairs":     nestedDelta(before, after, "dynamic", "repairs"),
+				"staleServes": nestedDelta(before, after, "dynamic", "staleServes"),
+			}
+		}
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -408,6 +492,11 @@ fireLoop:
 			fmt.Fprintf(stdout, "lcrbload: sharded tier answered %.0f solves (%.0f degraded)\n",
 				solves, nestedDelta(before, after, "shards", "degraded"))
 		}
+	}
+	if deltaRep != nil {
+		fmt.Fprintf(stdout, "lcrbload: %d deltas applied (%d conflicts, %d errors), repair lag p50 %.1fms p99 %.1fms, stale-serve rate %.3f\n",
+			deltaRep.Issued, deltaRep.Conflicts, deltaRep.Errors,
+			deltaRep.RepairLag.P50Millis, deltaRep.RepairLag.P99Millis, deltaRep.StaleServeRate)
 	}
 	fmt.Fprintf(stdout, "lcrbload: report -> %s\n", *out)
 	if ctx.Err() != nil {
@@ -440,6 +529,11 @@ func fire(client *http.Client, url string, p requestPlan, samples int) outcome {
 	}
 	if resp.StatusCode == http.StatusOK {
 		o.degraded, _ = body["degraded"].(bool)
+		if st, ok := body["staleness"].(map[string]any); ok {
+			o.staleness = true
+			behind, _ := st["behindBatches"].(float64)
+			o.staleServe = behind > 0
+		}
 		return o
 	}
 	if e, ok := body["error"].(map[string]any); ok {

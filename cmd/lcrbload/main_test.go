@@ -223,3 +223,143 @@ func TestNestedDelta(t *testing.T) {
 		t.Fatalf("nil snapshots delta = %v, want 0", d)
 	}
 }
+
+// dynStubDaemon fakes a -dynamic lcrbd: a delta endpoint with optimistic
+// concurrency (the first apply races a fake background writer, so the
+// storm sees one 409 and recovers), a served version that catches up a few
+// milliseconds after each apply, and solve answers carrying staleness
+// blocks — every third one admitting it served behind the master.
+func dynStubDaemon() *httptest.Server {
+	var solves, deltas, conflicts atomic.Int64
+	var version, served atomic.Int64
+	version.Store(1)
+	served.Store(1)
+	firstDelta := atomic.Bool{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		n := solves.Add(1)
+		behind := 0
+		if n%3 == 0 {
+			behind = 1
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"algorithm":"greedy","protectors":[1,2],"degraded":false,"staleness":{"version":%d,"behindBatches":%d,"repairing":false}}`,
+			served.Load(), behind)
+	})
+	mux.HandleFunc("POST /v1/graph/delta", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			BaseVersion int64 `json:"baseVersion"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		if firstDelta.CompareAndSwap(false, true) {
+			version.Add(1) // fake concurrent writer wins the first race
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if req.BaseVersion != version.Load() {
+			conflicts.Add(1)
+			w.WriteHeader(http.StatusConflict)
+			fmt.Fprintf(w, `{"error":{"code":"version_conflict","message":"delta base version %d, master at version %d"}}`,
+				req.BaseVersion, version.Load())
+			return
+		}
+		v := version.Add(1)
+		deltas.Add(1)
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			served.Store(v)
+		}()
+		fmt.Fprintf(w, `{"version":%d,"staleness":{"version":%d,"behindBatches":%d,"repairing":true}}`,
+			v, served.Load(), v-served.Load())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"requests":%d,"solves":%d,"coalesced":0,"dynamic":{"masterVersion":%d,"servedVersion":%d,"deltas":%d,"conflicts":%d,"repairs":%d,"staleServes":0}}`,
+			solves.Load(), solves.Load(), version.Load(), served.Load(), deltas.Load(), conflicts.Load(), deltas.Load())
+	})
+	return httptest.NewServer(mux)
+}
+
+// TestRunDeltaStorm drives the mixed solve+delta profile and checks the
+// report's delta section: repair-lag percentiles, the conflict recovery,
+// and the stale-serve rate read off the solve answers.
+func TestRunDeltaStorm(t *testing.T) {
+	ts := dynStubDaemon()
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", ts.URL,
+		"-rate", "200",
+		"-delta-rate", "40",
+		"-delta-span", "32",
+		"-duration", "400ms",
+		"-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	d := rep.Delta
+	if d == nil {
+		t.Fatal("report has no delta section")
+	}
+	if d.Issued < 1 {
+		t.Fatalf("deltas issued = %d, want >= 1", d.Issued)
+	}
+	if d.Conflicts < 1 {
+		t.Fatalf("conflicts = %d, want the staged 409 counted", d.Conflicts)
+	}
+	if d.RepairLag.Count != d.Issued {
+		t.Fatalf("repair lag count = %d, issued = %d: a repair was never observed", d.RepairLag.Count, d.Issued)
+	}
+	if d.RepairLag.P50Millis <= 0 || d.RepairLag.P99Millis < d.RepairLag.P50Millis {
+		t.Fatalf("repair-lag percentiles out of order: %+v", d.RepairLag)
+	}
+	if d.StaleServes < 1 || d.StaleServeRate <= 0 || d.StaleServeRate > 1 {
+		t.Fatalf("stale-serve accounting off: serves=%d rate=%v", d.StaleServes, d.StaleServeRate)
+	}
+	if d.FinalMasterVersion < 2 {
+		t.Fatalf("final master version = %d, want >= 2", d.FinalMasterVersion)
+	}
+	if rep.Config.DeltaRate != 40 || rep.Config.DeltaSpan != 32 {
+		t.Fatalf("delta config not recorded: %+v", rep.Config)
+	}
+	dyn, ok := rep.Server["dynamic"].(map[string]any)
+	if !ok {
+		t.Fatalf("server stats delta has no dynamic section: %v", rep.Server)
+	}
+	if dyn["deltas"].(float64) < 1 || dyn["conflicts"].(float64) < 1 {
+		t.Fatalf("dynamic server deltas not populated: %v", dyn)
+	}
+	// A solve-only run against the same daemon must not grow the section.
+	out2 := filepath.Join(t.TempDir(), "solo.json")
+	if err := run(context.Background(), []string{
+		"-url", ts.URL, "-rate", "100", "-duration", "100ms", "-out", out2,
+	}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(blob2, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := raw["delta"]; has {
+		t.Fatal("solve-only report grew a delta section")
+	}
+	cfg := raw["config"].(map[string]any)
+	if _, has := cfg["deltaRatePerSecond"]; has {
+		t.Fatal("solve-only config records a delta rate")
+	}
+}

@@ -1,0 +1,81 @@
+package dyngraph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Delta is one batched mutation: node growth plus edge insertions and
+// deletions, applied atomically against BaseVersion. The JSON shape is
+// shared by the lcrbgen -deltas stream files and the lcrbd
+// POST /v1/graph/delta body, so a generated stream replays against a
+// daemon verbatim. Edges are [u, v] pairs.
+type Delta struct {
+	// BaseVersion is the master version this delta was prepared against;
+	// ApplyDelta rejects it (ErrVersionConflict) when the master moved.
+	BaseVersion uint64 `json:"baseVersion"`
+	// AddNodes grows the node space by that many fresh, initially isolated
+	// identifiers (the previous node count up).
+	AddNodes int32 `json:"addNodes,omitempty"`
+	// AddEdges / RemoveEdges are directed [u, v] pairs. Removals apply
+	// before additions; within additions, last write wins.
+	AddEdges    [][2]int32 `json:"addEdges,omitempty"`
+	RemoveEdges [][2]int32 `json:"removeEdges,omitempty"`
+	// RemoveNodes isolates nodes: every incident edge is dropped, the
+	// identifier stays allocated (dense ids survive every version).
+	RemoveNodes []int32 `json:"removeNodes,omitempty"`
+}
+
+// Empty reports whether the delta carries no operations at all.
+func (d Delta) Empty() bool {
+	return d.AddNodes == 0 && len(d.AddEdges) == 0 && len(d.RemoveEdges) == 0 && len(d.RemoveNodes) == 0
+}
+
+// StreamDelta is one line of a mutation stream file: a delta with its
+// (synthetic, deterministic) timestamp.
+type StreamDelta struct {
+	// Time is an RFC3339 timestamp. Generated streams derive it from a
+	// fixed epoch, never the wall clock, so stream bytes are reproducible.
+	Time string `json:"ts"`
+	Delta
+}
+
+// WriteStream writes deltas as JSONL: one compact JSON object per line,
+// replayable by ReadStream and by POSTing each line's delta fields to
+// /v1/graph/delta in order.
+func WriteStream(w io.Writer, deltas []StreamDelta) error {
+	enc := json.NewEncoder(w)
+	for i, d := range deltas {
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("dyngraph: write stream: delta %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadStream parses a JSONL mutation stream. Blank lines are skipped; any
+// malformed line fails the whole read (a torn stream must not half-apply).
+func ReadStream(r io.Reader) ([]StreamDelta, error) {
+	var out []StreamDelta
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var d StreamDelta
+		if err := json.Unmarshal(text, &d); err != nil {
+			return nil, fmt.Errorf("dyngraph: read stream: line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dyngraph: read stream: %w", err)
+	}
+	return out, nil
+}

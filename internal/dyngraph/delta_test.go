@@ -1,0 +1,74 @@
+package dyngraph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lcrb/internal/graph"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	g := mustGraph(t, 5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	deltas, err := GenerateStream(g, 15, 21, StreamConfig{RemoveNodeEvery: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	// JSONL: exactly one line per delta.
+	if lines := strings.Count(buf.String(), "\n"); lines != len(deltas) {
+		t.Fatalf("wrote %d lines for %d deltas", lines, len(deltas))
+	}
+	got, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, deltas) {
+		t.Fatal("stream round trip drifted")
+	}
+}
+
+func TestWriteStreamDeterministicBytes(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	deltas, err := GenerateStream(g, 10, 5, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteStream(&a, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStream(&b, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("stream bytes not reproducible")
+	}
+}
+
+func TestReadStreamSkipsBlankRejectsMalformed(t *testing.T) {
+	got, err := ReadStream(strings.NewReader("\n{\"ts\":\"2026-01-01T00:00:00Z\",\"baseVersion\":1,\"addNodes\":2}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].BaseVersion != 1 || got[0].AddNodes != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := ReadStream(strings.NewReader("{\"baseVersion\": }\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestDeltaEmpty(t *testing.T) {
+	if !(Delta{BaseVersion: 3}).Empty() {
+		t.Fatal("no-op delta should be Empty")
+	}
+	if (Delta{AddNodes: 1}).Empty() || (Delta{AddEdges: [][2]int32{{0, 1}}}).Empty() ||
+		(Delta{RemoveEdges: [][2]int32{{0, 1}}}).Empty() || (Delta{RemoveNodes: []int32{0}}).Empty() {
+		t.Fatal("delta with operations should not be Empty")
+	}
+}

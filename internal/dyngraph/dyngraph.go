@@ -1,0 +1,325 @@
+// Package dyngraph separates the mutable master graph from the immutable
+// snapshot views the rest of the module consumes. Every sampler, solver and
+// sketch in this repository assumes one frozen *graph.Graph; a live network
+// is never frozen. The Master closes that gap: it holds per-node sorted
+// adjacency rows that batched deltas mutate in place, a monotonically
+// increasing Version, and a mutation log of per-batch touched-region
+// summaries. After each batch it materializes a fresh immutable CSR
+// snapshot (graph.FromSortedAdjacency, O(V+E), no re-sort), so readers
+// always hold a graph that no future delta can touch — the rows are copied
+// at snapshot time, mutated only afterwards.
+//
+// The dirty summaries are the contract the incremental sketch maintenance
+// of internal/sketch builds on: a node is dirty in a batch when its
+// out-row or in-row changed, and a realization whose recorded footprint
+// avoids every dirty node of every batch between two versions re-samples
+// identically on the new snapshot (see sketch.Repair). DirtySince unions
+// the per-batch dirty sets so a consumer several batches behind repairs
+// old→latest in one step.
+//
+// Node identifiers stay dense across the whole history: removing a node
+// isolates it (drops every incident edge) rather than renumbering, so ids
+// recorded in sketches, rumor sets and client requests stay valid at every
+// version.
+package dyngraph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"lcrb/internal/graph"
+)
+
+// ErrVersionConflict is returned (wrapped) by ApplyDelta when the delta's
+// BaseVersion is not the master's current version — the optimistic
+// concurrency check that serializes writers. Test with errors.Is; the error
+// text carries both versions.
+var ErrVersionConflict = errors.New("dyngraph: version conflict")
+
+// ErrInvalidDelta is returned (wrapped) when a delta fails validation —
+// endpoints out of range, self-loops, negative node growth. The master is
+// untouched: validation completes before the first mutation.
+var ErrInvalidDelta = errors.New("dyngraph: invalid delta")
+
+// Snapshot is one immutable view of the graph: the CSR graph as of Version.
+// Snapshots are never mutated after creation and are safe to share across
+// goroutines, exactly like every other *graph.Graph in this module.
+type Snapshot struct {
+	Graph   *graph.Graph
+	Version uint64
+}
+
+// Summary is the touched-region record of one applied batch: which nodes'
+// adjacency rows changed, and the realized operation counts (an add of an
+// edge that already exists, or a remove of one that does not, is a no-op —
+// counted, but not dirty).
+type Summary struct {
+	// Version is the master version this batch produced.
+	Version uint64 `json:"version"`
+	// DirtyNodes lists, ascending, every node whose out-row or in-row
+	// changed in this batch.
+	DirtyNodes []int32 `json:"dirtyNodes,omitempty"`
+	// AddedNodes is the node-space growth of the batch.
+	AddedNodes int32 `json:"addedNodes,omitempty"`
+	// AddedEdges / RemovedEdges count realized edge mutations.
+	AddedEdges   int `json:"addedEdges,omitempty"`
+	RemovedEdges int `json:"removedEdges,omitempty"`
+	// RedundantAdds counts adds of edges already present (last write wins:
+	// the surviving edge is the latest instance, indistinguishable for an
+	// unweighted graph but counted honestly). MissingRemoves counts removes
+	// of absent edges.
+	RedundantAdds  int `json:"redundantAdds,omitempty"`
+	MissingRemoves int `json:"missingRemoves,omitempty"`
+}
+
+// Master is the mutable graph. All methods are safe for concurrent use; a
+// batch is applied atomically under the master's lock and readers only ever
+// observe complete versions via Snapshot.
+type Master struct {
+	mu             sync.Mutex
+	allowSelfLoops bool
+	out            [][]int32 // sorted, strictly ascending per row
+	in             [][]int32
+	version        uint64
+	snap           *Snapshot
+	log            []Summary // log[i] summarizes the batch producing version i+2
+}
+
+// NewMaster wraps g as version 1 of a mutable graph. The master copies g's
+// adjacency into its own rows; g itself becomes the version-1 snapshot and
+// is never touched.
+func NewMaster(g *graph.Graph) (*Master, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dyngraph: new master: nil graph")
+	}
+	n := g.NumNodes()
+	m := &Master{
+		allowSelfLoops: g.AllowsSelfLoops(),
+		out:            make([][]int32, n),
+		in:             make([][]int32, n),
+		version:        1,
+		snap:           &Snapshot{Graph: g, Version: 1},
+	}
+	for u := int32(0); u < n; u++ {
+		m.out[u] = append([]int32(nil), g.Out(u)...)
+		m.in[u] = append([]int32(nil), g.In(u)...)
+	}
+	return m, nil
+}
+
+// Version returns the current master version. Versions start at 1 and
+// increase by exactly 1 per applied batch.
+func (m *Master) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Snapshot returns the immutable view of the current version.
+func (m *Master) Snapshot() *Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snap
+}
+
+// NumNodes returns the current node count.
+func (m *Master) NumNodes() int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int32(len(m.out))
+}
+
+// Log returns the mutation log: one Summary per applied batch, in version
+// order. The returned slice is a copy.
+func (m *Master) Log() []Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Summary(nil), m.log...)
+}
+
+// DirtySince unions the dirty node sets of every batch applied after
+// version from, ascending — the touched region a consumer at version from
+// must reconcile to reach the current version. from == current returns nil.
+func (m *Master) DirtySince(from uint64) ([]int32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from < 1 || from > m.version {
+		return nil, fmt.Errorf("dyngraph: dirty since: version %d out of [1,%d]", from, m.version)
+	}
+	if from == m.version {
+		return nil, nil
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, s := range m.log[from-1:] {
+		for _, v := range s.DirtyNodes {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ApplyDelta validates and applies one batch, returning the new snapshot
+// and the batch summary. The delta must carry BaseVersion equal to the
+// current version (else a wrapped ErrVersionConflict); validation failures
+// wrap ErrInvalidDelta and leave the master untouched. Operations apply
+// RemoveNodes, then RemoveEdges, then AddEdges — removals first, adds last,
+// so a batch that removes and re-adds an edge nets to the add (last write
+// wins, the Builder's duplicate policy).
+func (m *Master) ApplyDelta(d Delta) (*Snapshot, *Summary, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d.BaseVersion != m.version {
+		return nil, nil, fmt.Errorf("dyngraph: apply: delta base version %d, master at version %d: %w",
+			d.BaseVersion, m.version, ErrVersionConflict)
+	}
+	if err := m.validateLocked(d); err != nil {
+		return nil, nil, err
+	}
+
+	newN := int32(len(m.out)) + d.AddNodes
+	m.out = append(m.out, make([][]int32, d.AddNodes)...)
+	m.in = append(m.in, make([][]int32, d.AddNodes)...)
+
+	dirtyMark := make([]bool, newN)
+	var dirty []int32
+	mark := func(v int32) {
+		if !dirtyMark[v] {
+			dirtyMark[v] = true
+			dirty = append(dirty, v)
+		}
+	}
+
+	sum := Summary{Version: m.version + 1, AddedNodes: d.AddNodes}
+	for _, r := range d.RemoveNodes {
+		removed := len(m.out[r]) + len(m.in[r])
+		if removed == 0 {
+			continue // already isolated
+		}
+		if contains(m.out[r], r) {
+			removed-- // a self-loop sits in both rows but is one edge
+		}
+		for _, v := range m.out[r] {
+			if v != r {
+				m.in[v] = removeSorted(m.in[v], r)
+				mark(v)
+			}
+		}
+		for _, u := range m.in[r] {
+			if u != r {
+				m.out[u] = removeSorted(m.out[u], r)
+				mark(u)
+			}
+		}
+		m.out[r], m.in[r] = nil, nil
+		mark(r)
+		sum.RemovedEdges += removed
+	}
+	for _, e := range d.RemoveEdges {
+		u, v := e[0], e[1]
+		if !contains(m.out[u], v) {
+			sum.MissingRemoves++
+			continue
+		}
+		m.out[u] = removeSorted(m.out[u], v)
+		m.in[v] = removeSorted(m.in[v], u)
+		mark(u)
+		mark(v)
+		sum.RemovedEdges++
+	}
+	for _, e := range d.AddEdges {
+		u, v := e[0], e[1]
+		if contains(m.out[u], v) {
+			sum.RedundantAdds++
+			continue
+		}
+		m.out[u] = insertSorted(m.out[u], v)
+		m.in[v] = insertSorted(m.in[v], u)
+		mark(u)
+		mark(v)
+		sum.AddedEdges++
+	}
+
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	sum.DirtyNodes = dirty
+
+	g, err := graph.FromSortedAdjacency(m.out, m.allowSelfLoops)
+	if err != nil {
+		// Unreachable: validation keeps the rows a valid simple digraph.
+		panic(fmt.Sprintf("dyngraph: apply: materialize snapshot: %v", err))
+	}
+	m.version++
+	m.snap = &Snapshot{Graph: g, Version: m.version}
+	m.log = append(m.log, sum)
+	return m.snap, &sum, nil
+}
+
+// validateLocked checks every operation of d against the post-growth node
+// space before anything mutates.
+func (m *Master) validateLocked(d Delta) error {
+	if d.AddNodes < 0 {
+		return fmt.Errorf("dyngraph: apply: addNodes = %d must not be negative: %w", d.AddNodes, ErrInvalidDelta)
+	}
+	newN := int64(len(m.out)) + int64(d.AddNodes)
+	if newN > math.MaxInt32 {
+		return fmt.Errorf("dyngraph: apply: addNodes = %d overflows the node space: %w", d.AddNodes, ErrInvalidDelta)
+	}
+	check := func(op string, u, v int32) error {
+		if u < 0 || int64(u) >= newN || v < 0 || int64(v) >= newN {
+			return fmt.Errorf("dyngraph: apply: %s (%d,%d): endpoint out of range [0,%d): %w", op, u, v, newN, ErrInvalidDelta)
+		}
+		if u == v && !m.allowSelfLoops {
+			return fmt.Errorf("dyngraph: apply: %s (%d,%d): self-loops not allowed: %w", op, u, v, ErrInvalidDelta)
+		}
+		return nil
+	}
+	for _, e := range d.AddEdges {
+		if err := check("add edge", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.RemoveEdges {
+		if err := check("remove edge", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	for _, r := range d.RemoveNodes {
+		if r < 0 || int64(r) >= newN {
+			return fmt.Errorf("dyngraph: apply: remove node %d out of range [0,%d): %w", r, newN, ErrInvalidDelta)
+		}
+	}
+	return nil
+}
+
+// contains reports membership in a sorted row.
+func contains(row []int32, v int32) bool {
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	return i < len(row) && row[i] == v
+}
+
+// insertSorted inserts v into a sorted row without duplicates (the caller
+// checked absence).
+func insertSorted(row []int32, v int32) []int32 {
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = v
+	return row
+}
+
+// removeSorted removes v from a sorted row (the caller checked presence for
+// out-rows; in-rows mirror them).
+func removeSorted(row []int32, v int32) []int32 {
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	if i >= len(row) || row[i] != v {
+		return row
+	}
+	return append(row[:i], row[i+1:]...)
+}

@@ -1,0 +1,344 @@
+package dyngraph
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"lcrb/internal/graph"
+	"lcrb/internal/rng"
+)
+
+func mustGraph(t *testing.T, n int32, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func mustMaster(t *testing.T, g *graph.Graph) *Master {
+	t.Helper()
+	m, err := NewMaster(g)
+	if err != nil {
+		t.Fatalf("NewMaster: %v", err)
+	}
+	return m
+}
+
+func TestNewMasterVersionOneSharesSeedGraph(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	m := mustMaster(t, g)
+	if m.Version() != 1 {
+		t.Fatalf("Version = %d, want 1", m.Version())
+	}
+	snap := m.Snapshot()
+	if snap.Graph != g || snap.Version != 1 {
+		t.Fatalf("version-1 snapshot should be the seed graph itself at version 1, got %+v", snap)
+	}
+}
+
+func TestApplyDeltaAddRemove(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	m := mustMaster(t, g)
+	snap, sum, err := m.ApplyDelta(Delta{
+		BaseVersion: 1,
+		AddNodes:    1,
+		AddEdges:    [][2]int32{{2, 3}, {0, 2}},
+		RemoveEdges: [][2]int32{{0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustGraph(t, 4, []graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 2}})
+	if !reflect.DeepEqual(snap.Graph, want) {
+		t.Fatalf("snapshot graph mismatch:\ngot  %+v\nwant %+v", snap.Graph, want)
+	}
+	if snap.Version != 2 || m.Version() != 2 {
+		t.Fatalf("version = %d / %d, want 2", snap.Version, m.Version())
+	}
+	if sum.AddedEdges != 2 || sum.RemovedEdges != 1 || sum.AddedNodes != 1 {
+		t.Fatalf("summary counts %+v, want 2 added, 1 removed, 1 node", sum)
+	}
+	if wantDirty := []int32{0, 1, 2, 3}; !reflect.DeepEqual(sum.DirtyNodes, wantDirty) {
+		t.Fatalf("DirtyNodes = %v, want %v", sum.DirtyNodes, wantDirty)
+	}
+}
+
+func TestApplyDeltaVersionConflict(t *testing.T) {
+	m := mustMaster(t, mustGraph(t, 2, []graph.Edge{{U: 0, V: 1}}))
+	_, _, err := m.ApplyDelta(Delta{BaseVersion: 5, AddEdges: [][2]int32{{1, 0}}})
+	if !errors.Is(err, ErrVersionConflict) {
+		t.Fatalf("err = %v, want ErrVersionConflict", err)
+	}
+	if m.Version() != 1 {
+		t.Fatalf("conflicting delta mutated the master to version %d", m.Version())
+	}
+}
+
+func TestApplyDeltaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"negative addNodes", Delta{BaseVersion: 1, AddNodes: -1}},
+		{"add out of range", Delta{BaseVersion: 1, AddEdges: [][2]int32{{0, 9}}}},
+		{"add negative", Delta{BaseVersion: 1, AddEdges: [][2]int32{{-1, 0}}}},
+		{"self-loop", Delta{BaseVersion: 1, AddEdges: [][2]int32{{1, 1}}}},
+		{"remove out of range", Delta{BaseVersion: 1, RemoveEdges: [][2]int32{{9, 0}}}},
+		{"remove node out of range", Delta{BaseVersion: 1, RemoveNodes: []int32{7}}},
+	}
+	for _, tt := range cases {
+		m := mustMaster(t, mustGraph(t, 2, []graph.Edge{{U: 0, V: 1}}))
+		_, _, err := m.ApplyDelta(tt.d)
+		if !errors.Is(err, ErrInvalidDelta) {
+			t.Errorf("%s: err = %v, want ErrInvalidDelta", tt.name, err)
+		}
+		if m.Version() != 1 {
+			t.Errorf("%s: invalid delta mutated the master", tt.name)
+		}
+	}
+}
+
+func TestApplyDeltaNoOpsAreNotDirty(t *testing.T) {
+	m := mustMaster(t, mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}}))
+	_, sum, err := m.ApplyDelta(Delta{
+		BaseVersion: 1,
+		AddEdges:    [][2]int32{{0, 1}}, // already present
+		RemoveEdges: [][2]int32{{1, 2}}, // absent
+		RemoveNodes: []int32{2},         // already isolated
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.DirtyNodes) != 0 {
+		t.Fatalf("DirtyNodes = %v, want none (all operations were no-ops)", sum.DirtyNodes)
+	}
+	if sum.RedundantAdds != 1 || sum.MissingRemoves != 1 || sum.AddedEdges != 0 || sum.RemovedEdges != 0 {
+		t.Fatalf("summary %+v, want 1 redundant add, 1 missing remove, nothing realized", sum)
+	}
+}
+
+func TestRemoveNodeIsolates(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 1}, {U: 1, V: 3}})
+	m := mustMaster(t, g)
+	snap, sum, err := m.ApplyDelta(Delta{BaseVersion: 1, RemoveNodes: []int32{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustGraph(t, 4, nil)
+	_ = want
+	if snap.Graph.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4 (removal isolates, never renumbers)", snap.Graph.NumNodes())
+	}
+	if snap.Graph.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", snap.Graph.NumEdges())
+	}
+	if sum.RemovedEdges != 4 {
+		t.Fatalf("RemovedEdges = %d, want 4", sum.RemovedEdges)
+	}
+	if wantDirty := []int32{0, 1, 2, 3}; !reflect.DeepEqual(sum.DirtyNodes, wantDirty) {
+		t.Fatalf("DirtyNodes = %v, want %v", sum.DirtyNodes, wantDirty)
+	}
+}
+
+func TestRemoveThenReAddNetsToAdd(t *testing.T) {
+	m := mustMaster(t, mustGraph(t, 2, []graph.Edge{{U: 0, V: 1}}))
+	snap, sum, err := m.ApplyDelta(Delta{
+		BaseVersion: 1,
+		RemoveEdges: [][2]int32{{0, 1}},
+		AddEdges:    [][2]int32{{0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Graph.HasEdge(0, 1) {
+		t.Fatal("edge (0,1) missing: removals must apply before adds")
+	}
+	if sum.RemovedEdges != 1 || sum.AddedEdges != 1 {
+		t.Fatalf("summary %+v, want both the remove and the add realized", sum)
+	}
+}
+
+func TestSnapshotsAreImmutable(t *testing.T) {
+	m := mustMaster(t, mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}}))
+	s1 := m.Snapshot()
+	if _, _, err := m.ApplyDelta(Delta{BaseVersion: 1, AddEdges: [][2]int32{{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := m.Snapshot()
+	if _, _, err := m.ApplyDelta(Delta{BaseVersion: 2, RemoveEdges: [][2]int32{{0, 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1.Graph, mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}})) {
+		t.Fatal("version-1 snapshot mutated by later deltas")
+	}
+	if !reflect.DeepEqual(s2.Graph, mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})) {
+		t.Fatal("version-2 snapshot mutated by later deltas")
+	}
+}
+
+func TestDirtySince(t *testing.T) {
+	m := mustMaster(t, mustGraph(t, 5, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}))
+	if _, _, err := m.ApplyDelta(Delta{BaseVersion: 1, RemoveEdges: [][2]int32{{0, 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.ApplyDelta(Delta{BaseVersion: 2, AddEdges: [][2]int32{{3, 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.DirtySince(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int32{0, 1, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtySince(1) = %v, want %v", got, want)
+	}
+	got, err = m.DirtySince(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int32{3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtySince(2) = %v, want %v", got, want)
+	}
+	if got, err = m.DirtySince(3); err != nil || got != nil {
+		t.Fatalf("DirtySince(current) = %v, %v; want nil, nil", got, err)
+	}
+	if _, err := m.DirtySince(0); err == nil {
+		t.Fatal("DirtySince(0) should fail")
+	}
+	if _, err := m.DirtySince(9); err == nil {
+		t.Fatal("DirtySince(future) should fail")
+	}
+}
+
+// Differential test: a random delta stream applied through the master must
+// match a Builder rebuild from the tracked edge set at every version.
+func TestMasterMatchesRebuildOracle(t *testing.T) {
+	g := mustGraph(t, 6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 4}})
+	m := mustMaster(t, g)
+	deltas, err := GenerateStream(g, 40, 99, StreamConfig{RemoveNodeEvery: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make(map[graph.Edge]bool)
+	for _, e := range g.Edges() {
+		edges[e] = true
+	}
+	n := g.NumNodes()
+	for i, sd := range deltas {
+		snap, _, err := m.ApplyDelta(sd.Delta)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		n += sd.AddNodes
+		for _, r := range sd.RemoveNodes {
+			for e := range edges {
+				if e.U == r || e.V == r {
+					delete(edges, e)
+				}
+			}
+		}
+		for _, e := range sd.RemoveEdges {
+			delete(edges, graph.Edge{U: e[0], V: e[1]})
+		}
+		for _, e := range sd.AddEdges {
+			edges[graph.Edge{U: e[0], V: e[1]}] = true
+		}
+		b := graph.NewBuilder(n)
+		for e := range edges {
+			b.AddEdge(e.U, e.V)
+		}
+		want, err := b.Build()
+		if err != nil {
+			t.Fatalf("batch %d: oracle build: %v", i, err)
+		}
+		if !reflect.DeepEqual(snap.Graph, want) {
+			t.Fatalf("batch %d: snapshot diverged from rebuild oracle", i)
+		}
+	}
+}
+
+// Concurrent writers and readers: conflicts are expected (only one writer
+// can win each version), corruption and races are not. Run with -race.
+func TestConcurrentApplyAndSnapshot(t *testing.T) {
+	m := mustMaster(t, mustGraph(t, 8, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := rng.New(uint64(w) + 1)
+			for i := 0; i < 50; i++ {
+				d := Delta{
+					BaseVersion: m.Version(),
+					AddEdges:    [][2]int32{{src.Int32n(8), src.Int32n(8)}},
+				}
+				if d.AddEdges[0][0] == d.AddEdges[0][1] {
+					continue
+				}
+				_, _, err := m.ApplyDelta(d)
+				if err != nil && !errors.Is(err, ErrVersionConflict) {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				snap := m.Snapshot()
+				if snap.Graph.NumNodes() != 8 {
+					t.Errorf("worker %d: snapshot corrupt", w)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	g := mustGraph(t, 5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	a, err := GenerateStream(g, 20, 7, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStream(g, 20, 7, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c, err := GenerateStream(g, 20, 8, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	if a[0].Time != "2026-01-01T00:00:00Z" || a[1].Time != "2026-01-01T00:00:01Z" {
+		t.Fatalf("timestamps %q, %q: want fixed-epoch one-second steps", a[0].Time, a[1].Time)
+	}
+}
+
+func TestGenerateStreamAppliesCleanly(t *testing.T) {
+	g := mustGraph(t, 5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	deltas, err := GenerateStream(g, 30, 3, StreamConfig{RemoveNodeEvery: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 30 {
+		t.Fatalf("len = %d, want 30", len(deltas))
+	}
+	m := mustMaster(t, g)
+	for i, sd := range deltas {
+		if sd.BaseVersion != uint64(i+1) {
+			t.Fatalf("batch %d BaseVersion = %d, want %d", i, sd.BaseVersion, i+1)
+		}
+		if sd.Empty() {
+			t.Fatalf("batch %d is empty", i)
+		}
+		if _, _, err := m.ApplyDelta(sd.Delta); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+}

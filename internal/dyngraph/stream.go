@@ -1,0 +1,115 @@
+package dyngraph
+
+import (
+	"fmt"
+	"time"
+
+	"lcrb/internal/graph"
+	"lcrb/internal/rng"
+)
+
+// streamEpoch anchors generated timestamps: a fixed instant, never the wall
+// clock, so two runs with the same seed emit identical stream bytes.
+const streamEpoch = "2026-01-01T00:00:00Z"
+
+// StreamConfig tunes GenerateStream. The zero value selects the defaults.
+type StreamConfig struct {
+	// MaxAdds bounds the edge insertions per batch (uniform in [0, MaxAdds]).
+	// Defaults to 4.
+	MaxAdds int
+	// MaxRemoves bounds the edge removals per batch. Defaults to 2.
+	MaxRemoves int
+	// AddNodeEvery makes every k-th batch grow the node space by one fresh
+	// node (wired to an existing node so it participates). 0 disables;
+	// defaults to 7.
+	AddNodeEvery int
+	// RemoveNodeEvery makes every k-th batch isolate one random node.
+	// 0 disables; defaults to 0.
+	RemoveNodeEvery int
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.MaxAdds == 0 {
+		c.MaxAdds = 4
+	}
+	if c.MaxRemoves == 0 {
+		c.MaxRemoves = 2
+	}
+	if c.AddNodeEvery == 0 {
+		c.AddNodeEvery = 7
+	}
+	return c
+}
+
+// GenerateStream produces a deterministic timestamped mutation stream of
+// batches valid against g: batch i carries BaseVersion i+1, so replaying
+// the stream in order against NewMaster(g) (or a freshly booted
+// lcrbd -dynamic on the same instance) applies cleanly. Every batch is
+// validated by actually applying it to an internal master — the generator
+// can never emit a stream that fails validation. Timestamps step one second
+// from a fixed epoch; the whole stream is a pure function of (g, batches,
+// seed, cfg).
+func GenerateStream(g *graph.Graph, batches int, seed uint64, cfg StreamConfig) ([]StreamDelta, error) {
+	if batches < 0 {
+		return nil, fmt.Errorf("dyngraph: generate stream: batches = %d must not be negative", batches)
+	}
+	m, err := NewMaster(g)
+	if err != nil {
+		return nil, fmt.Errorf("dyngraph: generate stream: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	epoch, err := time.Parse(time.RFC3339, streamEpoch)
+	if err != nil {
+		panic(fmt.Sprintf("dyngraph: generate stream: bad epoch constant: %v", err))
+	}
+	src := rng.New(seed)
+	out := make([]StreamDelta, 0, batches)
+	for i := 0; i < batches; i++ {
+		d := Delta{BaseVersion: m.Version()}
+		n := m.NumNodes()
+		if cfg.AddNodeEvery > 0 && (i+1)%cfg.AddNodeEvery == 0 {
+			// Grow by one node and wire it to a random existing node so the
+			// newcomer participates in later diffusion instead of idling.
+			d.AddNodes = 1
+			if n > 0 {
+				d.AddEdges = append(d.AddEdges, [2]int32{src.Int32n(n), n})
+			}
+			n++
+		}
+		if cfg.RemoveNodeEvery > 0 && (i+1)%cfg.RemoveNodeEvery == 0 && n > 0 {
+			d.RemoveNodes = append(d.RemoveNodes, src.Int32n(n))
+		}
+		if removes := src.Intn(cfg.MaxRemoves + 1); removes > 0 {
+			// Sample existing edges from the current snapshot so most
+			// removals are realized rather than no-ops.
+			edges := m.Snapshot().Graph.Edges()
+			for r := 0; r < removes && len(edges) > 0; r++ {
+				e := edges[src.Intn(len(edges))]
+				d.RemoveEdges = append(d.RemoveEdges, [2]int32{e.U, e.V})
+			}
+		}
+		adds := src.Intn(cfg.MaxAdds + 1)
+		if adds == 0 && d.Empty() {
+			adds = 1 // every batch mutates something
+		}
+		for a := 0; a < adds && n > 1; a++ {
+			u := src.Int32n(n)
+			v := src.Int32n(n)
+			for tries := 0; u == v && tries < 8; tries++ {
+				v = src.Int32n(n)
+			}
+			if u == v {
+				continue
+			}
+			d.AddEdges = append(d.AddEdges, [2]int32{u, v})
+		}
+		if _, _, err := m.ApplyDelta(d); err != nil {
+			return nil, fmt.Errorf("dyngraph: generate stream: batch %d: %w", i, err)
+		}
+		out = append(out, StreamDelta{
+			Time:  epoch.Add(time.Duration(i) * time.Second).Format(time.RFC3339),
+			Delta: d,
+		})
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 	"lcrb/internal/community"
 	"lcrb/internal/core"
 	"lcrb/internal/gen"
+	"lcrb/internal/graph"
 	"lcrb/internal/rng"
 )
 
@@ -67,6 +68,30 @@ func Setup(cfg Config) (*Instance, error) {
 func (inst *Instance) NewProblem(fraction float64, src *rng.Source) (*core.Problem, error) {
 	rumors := inst.drawRumors(fraction, src)
 	return core.NewProblem(inst.Net.Graph, inst.Part.Assign(), inst.Community, rumors)
+}
+
+// NewProblemOn is NewProblem rebound to a different graph — a dynamic
+// snapshot of the instance's network after mutation batches. The rumor draw
+// is bit-identical to NewProblem's for an equal src state (it depends only
+// on the community membership, which mutation never renumbers), the
+// community assignment is the originally detected partition extended with
+// -1 (no community) for nodes born after detection, and the bridge ends are
+// recomputed on g. Static callers and dynamic callers therefore build the
+// same rumor sets and differ only where the graph itself differs.
+func (inst *Instance) NewProblemOn(g *graph.Graph, fraction float64, src *rng.Source) (*core.Problem, error) {
+	if g == nil {
+		return nil, fmt.Errorf("experiment: problem on snapshot: nil graph")
+	}
+	if g.NumNodes() < inst.Net.Graph.NumNodes() {
+		return nil, fmt.Errorf("experiment: problem on snapshot: graph has %d nodes, instance has %d (dynamic ids are dense and never shrink)",
+			g.NumNodes(), inst.Net.Graph.NumNodes())
+	}
+	rumors := inst.drawRumors(fraction, src)
+	assign := append([]int32(nil), inst.Part.Assign()...)
+	for int32(len(assign)) < g.NumNodes() {
+		assign = append(assign, -1)
+	}
+	return core.NewProblem(g, assign, inst.Community, rumors)
 }
 
 // drawRumors samples max(1, fraction*|C|) distinct rumor seeds from the

@@ -175,9 +175,12 @@ func (g *Graph) Induce(nodes []int32) (*Subgraph, error) {
 	return &Subgraph{Graph: sg, ToParent: toParent, ToLocal: toLocal}, nil
 }
 
-// Builder accumulates edges and produces an immutable Graph. Duplicate edges
-// are collapsed. Self-loops are rejected by default because no diffusion
-// model in this module can use them; call AllowSelfLoops to keep them.
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges are collapsed with last-write-wins semantics: the most recently
+// recorded instance of an edge is the one kept, matching the delta-stream
+// convention of internal/dyngraph where a re-added edge carries the latest
+// state. Self-loops are rejected by default because no diffusion model in
+// this module can use them; call AllowSelfLoops to keep them.
 type Builder struct {
 	numNodes       int32
 	edges          []Edge
@@ -185,6 +188,11 @@ type Builder struct {
 	// dropped counts edges AddEdge refused (negative endpoints); see
 	// Dropped.
 	dropped int64
+	// overwritten counts duplicate-edge collapses observed by the latest
+	// Build — earlier instances overwritten by a later AddEdge of the same
+	// (u, v). Recomputed per Build (a pure function of the recorded edges),
+	// so reusing the Builder never double-counts.
+	overwritten int64
 }
 
 // NewBuilder returns a Builder for a graph with numNodes nodes.
@@ -230,10 +238,13 @@ func (b *Builder) AddEdge(u, v NodeID) {
 // deduplication.
 func (b *Builder) NumPendingEdges() int { return len(b.edges) }
 
-// Dropped returns the number of edges AddEdge ignored because an endpoint
-// was negative. The count accumulates across Build calls, matching the
-// Builder's reuse contract.
-func (b *Builder) Dropped() int64 { return b.dropped }
+// Dropped returns the number of recorded edges that did not survive into
+// the built graph as distinct edges: edges AddEdge ignored because an
+// endpoint was negative, plus duplicate instances overwritten by a later
+// AddEdge of the same (u, v) in the latest Build (last-write-wins). The
+// negative-endpoint count accumulates across Build calls, matching the
+// Builder's reuse contract; the overwrite count reflects the latest Build.
+func (b *Builder) Dropped() int64 { return b.dropped + b.overwritten }
 
 // Build produces the immutable graph. The Builder may be reused afterwards;
 // its recorded edges are retained.
@@ -248,16 +259,24 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 		edges = append(edges, e)
 	}
-	sort.Slice(edges, func(i, j int) bool {
+	// Stable sort so instances of the same (u, v) keep recording order,
+	// making "the last recorded instance" well defined for the dedup below.
+	sort.SliceStable(edges, func(i, j int) bool {
 		if edges[i].U != edges[j].U {
 			return edges[i].U < edges[j].U
 		}
 		return edges[i].V < edges[j].V
 	})
-	// Deduplicate in place.
+	// Deduplicate in place, last write wins: within a run of equal edges the
+	// final instance is the one kept (for unweighted edges the instances are
+	// indistinguishable, but the policy is the delta-stream semantic and the
+	// overwrite count is observable via Dropped).
+	b.overwritten = 0
 	dedup := edges[:0]
 	for i, e := range edges {
 		if i > 0 && e == edges[i-1] {
+			b.overwritten++
+			dedup[len(dedup)-1] = e
 			continue
 		}
 		dedup = append(dedup, e)
@@ -302,4 +321,67 @@ func FromEdges(numNodes int32, edges []Edge) (*Graph, error) {
 		b.AddEdge(e.U, e.V)
 	}
 	return b.Build()
+}
+
+// FromSortedAdjacency builds a graph directly from per-node out-neighbour
+// rows that are already strictly ascending — the snapshot materialization
+// path of internal/dyngraph, which maintains sorted rows incrementally and
+// must not pay the Builder's O(E log E) re-sort on every mutation batch.
+// Row u lists the out-neighbours of node u; the node count is len(out).
+// The rows are copied, never aliased, so the returned graph stays immutable
+// when the caller keeps mutating its rows. O(V + E).
+//
+// Every neighbour must be in [0, len(out)) and each row strictly ascending
+// (duplicates are a row invariant violation here, not collapsed); self-loops
+// are rejected unless allowSelfLoops, mirroring the Builder policy.
+func FromSortedAdjacency(out [][]int32, allowSelfLoops bool) (*Graph, error) {
+	n := int32(len(out))
+	var m int64
+	for u, row := range out {
+		prev := int32(-1)
+		for _, v := range row {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("graph: from sorted adjacency: node %d: neighbour %d out of range [0,%d)", u, v, n)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("graph: from sorted adjacency: node %d: row not strictly ascending at neighbour %d", u, v)
+			}
+			if v == int32(u) && !allowSelfLoops {
+				return nil, fmt.Errorf("graph: from sorted adjacency: self-loop %d->%d not allowed", u, u)
+			}
+			prev = v
+		}
+		m += int64(len(row))
+	}
+	g := &Graph{
+		numNodes:       n,
+		numEdges:       m,
+		outOff:         make([]int64, n+1),
+		outAdj:         make([]int32, m),
+		inOff:          make([]int64, n+1),
+		inAdj:          make([]int32, m),
+		allowSelfLoops: allowSelfLoops,
+	}
+	// Counting pass for the in-direction; the out-direction offsets follow
+	// the row lengths directly.
+	for u, row := range out {
+		g.outOff[u+1] = g.outOff[u] + int64(len(row))
+		for _, v := range row {
+			g.inOff[v+1]++
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		g.inOff[i+1] += g.inOff[i]
+	}
+	// Fill pass. Out-adjacency copies the sorted rows; in-adjacency receives
+	// sources in ascending order because rows are visited in node order.
+	cursor := make([]int64, n)
+	for u, row := range out {
+		copy(g.outAdj[g.outOff[u]:g.outOff[u+1]], row)
+		for _, v := range row {
+			g.inAdj[g.inOff[v]+cursor[v]] = int32(u)
+			cursor[v]++
+		}
+	}
+	return g, nil
 }

@@ -173,6 +173,114 @@ func TestBuilderDroppedZeroOnCleanInput(t *testing.T) {
 	}
 }
 
+// Regression: Build used to keep the first recorded instance of a duplicate
+// edge and never count the collapse. The delta-stream semantic is last write
+// wins, with every overwritten instance visible in Dropped diagnostics.
+func TestBuilderDuplicateEdgesLastWriteWinsCounted(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 1) // overwrites the first instance
+	b.AddEdge(0, 1) // and again
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2 (two overwritten duplicate instances)", b.Dropped())
+	}
+}
+
+// The overwrite count is a pure function of the recorded edges, so a reused
+// Builder reports the same duplicates after a second Build instead of
+// double-counting them; negative-endpoint drops still accumulate.
+func TestBuilderDuplicateCountStableAcrossRebuilds(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(-1, 0)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2 (1 duplicate + 1 negative)", b.Dropped())
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d after rebuild, want 2 (overwrites must not double-count)", b.Dropped())
+	}
+}
+
+func TestFromSortedAdjacency(t *testing.T) {
+	rows := [][]int32{{1, 2}, {2}, {3}, {0}}
+	g, err := FromSortedAdjacency(rows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := buildMust(t, 4, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}})
+	if !reflect.DeepEqual(g, want) {
+		t.Fatalf("FromSortedAdjacency = %+v, want the Builder-built graph %+v", g, want)
+	}
+	// The rows are copied: mutating them must not leak into the graph.
+	rows[0][0] = 3
+	if got := g.Out(0); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("Out(0) = %v after caller mutation, want {1, 2} (rows must be copied)", got)
+	}
+}
+
+func TestFromSortedAdjacencyRejectsBadRows(t *testing.T) {
+	cases := []struct {
+		name string
+		rows [][]int32
+	}{
+		{"out of range", [][]int32{{1}, {2}}},
+		{"negative", [][]int32{{-1}, {}}},
+		{"unsorted", [][]int32{{1, 0}, {}, {}}},
+		{"duplicate", [][]int32{{1, 1}, {}}},
+		{"self-loop", [][]int32{{0}}},
+	}
+	for _, tt := range cases {
+		if _, err := FromSortedAdjacency(tt.rows, false); err == nil {
+			t.Errorf("%s: FromSortedAdjacency accepted invalid rows %v", tt.name, tt.rows)
+		}
+	}
+}
+
+func TestFromSortedAdjacencyAllowsSelfLoops(t *testing.T) {
+	g, err := FromSortedAdjacency([][]int32{{0, 1}, {}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 0) || !g.AllowsSelfLoops() {
+		t.Fatal("self-loop not kept under allowSelfLoops")
+	}
+}
+
+// Property: FromSortedAdjacency on a built graph's own rows reproduces the
+// graph exactly — the round trip the dyngraph snapshot path relies on.
+func TestFromSortedAdjacencyRoundTrip(t *testing.T) {
+	src := rng.New(11)
+	for i := 0; i < 50; i++ {
+		g := randomGraph(src, 40)
+		rows := make([][]int32, g.NumNodes())
+		for u := int32(0); u < g.NumNodes(); u++ {
+			rows[u] = g.Out(u)
+		}
+		got, err := FromSortedAdjacency(rows, g.AllowsSelfLoops())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, g) {
+			t.Fatalf("round trip drifted on graph %d", i)
+		}
+	}
+}
+
 func TestHasEdge(t *testing.T) {
 	g := buildMust(t, 4, []Edge{{0, 1}, {0, 3}, {2, 1}})
 	tests := []struct {

@@ -76,6 +76,10 @@ func BuildShardContext(ctx context.Context, p *core.Problem, opts Options, index
 		opts.Samples = DefaultSamples
 	}
 	opts.Epsilon, opts.Delta, opts.MaxSamples = 0, 0, 0
+	// Slices never repair — on graph mutation the tier rebuilds them from
+	// coordinates against the new snapshot — so footprint recording is
+	// dead weight here; drop it (the fingerprint ignores it either way).
+	opts.Footprints = false
 	if opts.MaxHops == 0 {
 		opts.MaxHops = core.DefaultGreedyHops
 	}
@@ -114,7 +118,7 @@ func BuildShardContext(ctx context.Context, p *core.Problem, opts Options, index
 		if err := opts.Fault.Check(); err != nil {
 			return nil, fmt.Errorf("sketch: shard build realization %d: %w", r, err)
 		}
-		pairs, base, err := sampleRealization(sc, p, b.realSeeds[r], int32(r), opts.MaxHops)
+		pairs, base, _, err := sampleRealization(sc, p, b.realSeeds[r], int32(r), opts.MaxHops)
 		if err != nil {
 			return nil, fmt.Errorf("sketch: shard build realization %d: %w", r, err)
 		}

@@ -101,6 +101,15 @@ type Options struct {
 	// Fault, when non-nil, injects a failure per sampled realization on
 	// the fault's schedule, for testing build error paths.
 	Fault *diffusion.Fault
+	// Footprints records, per realization, the set of nodes whose adjacency
+	// the sampler read with effect — the forward-activated set plus every
+	// node the backward searches visited or scanned. A realization whose
+	// footprint avoids a graph mutation re-samples identically on the
+	// mutated graph, which is what lets Repair patch a sketch incrementally
+	// (see incremental.go). Costs one sorted []int32 per realization in
+	// memory and in the store. Ignored by shard-slice builds: slices rebuild
+	// from coordinates on mutation, they never repair.
+	Footprints bool
 
 	// Epsilon, when positive with Samples zero, selects the adaptive
 	// build: realizations grow in doubling rounds until the martingale
@@ -171,6 +180,14 @@ type Set struct {
 	ShardIndex   int `json:"shardIndex,omitempty"`
 	ShardCount   int `json:"shardCount,omitempty"`
 	ShardSamples int `json:"shardSamples,omitempty"`
+
+	// Footprints[r], present when built with Options.Footprints, is the
+	// sorted node set realization r's sampling read with effect — the
+	// incremental-repair index of incremental.go. Version, when nonzero,
+	// is the dyngraph master version the sketch is current for; static
+	// builds leave it zero (and both fields out of the store bytes).
+	Footprints [][]int32 `json:"footprints,omitempty"`
+	Version    uint64    `json:"graphVersion,omitempty"`
 
 	// index inverts Pairs into CSR rows with bitset kernels (bitset.go).
 	// A pure function of Pairs: rebuilt on load, never serialized.
@@ -300,8 +317,9 @@ type setBuilder struct {
 	realSeeds []uint64
 	// perReal[i] collects realization i's pairs; slots keep assembly
 	// order independent of scheduling, so the Set is worker-count
-	// invariant.
+	// invariant. perFoot mirrors it with footprints when opts.Footprints.
 	perReal  [][]Pair
+	perFoot  [][]int32
 	baseline []int
 	deadline time.Time
 }
@@ -312,6 +330,15 @@ func newSetBuilder(p *core.Problem, opts Options, workers int) *setBuilder {
 		b.deadline = time.Now().Add(opts.MaxDuration)
 	}
 	return b
+}
+
+// newScratch returns a per-worker scratch in the builder's footprint mode.
+func (b *setBuilder) newScratch() *scratch {
+	sc := newScratch(b.p)
+	if b.opts.Footprints {
+		sc.enableFootprints(b.p)
+	}
+	return sc
 }
 
 // grow samples realizations [len(perReal), total). All-or-nothing per the
@@ -326,6 +353,7 @@ func (b *setBuilder) grow(ctx context.Context, total int) error {
 		b.realSeeds = append(b.realSeeds, b.seedSrc.Uint64())
 	}
 	b.perReal = append(b.perReal, make([][]Pair, total-lo)...)
+	b.perFoot = append(b.perFoot, make([][]int32, total-lo)...)
 	b.baseline = append(b.baseline, make([]int, total-lo)...)
 	errs := make([]error, total-lo)
 
@@ -340,11 +368,12 @@ func (b *setBuilder) grow(ctx context.Context, total int) error {
 		if err := b.opts.Fault.Check(); err != nil {
 			return fmt.Errorf("sketch: build realization %d: %w", i, err)
 		}
-		pairs, base, err := sampleRealization(sc, b.p, b.realSeeds[i], int32(i), b.opts.MaxHops)
+		pairs, base, foot, err := sampleRealization(sc, b.p, b.realSeeds[i], int32(i), b.opts.MaxHops)
 		if err != nil {
 			return fmt.Errorf("sketch: build realization %d: %w", i, err)
 		}
 		b.perReal[i] = pairs
+		b.perFoot[i] = foot
 		b.baseline[i] = base
 		return nil
 	}
@@ -354,7 +383,7 @@ func (b *setBuilder) grow(ctx context.Context, total int) error {
 		workers = total - lo
 	}
 	if workers == 1 {
-		sc := newScratch(b.p)
+		sc := b.newScratch()
 		for i := lo; i < total; i++ {
 			if errs[i-lo] = sampleOne(sc, i); errs[i-lo] != nil {
 				break
@@ -367,7 +396,7 @@ func (b *setBuilder) grow(ctx context.Context, total int) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				sc := newScratch(b.p)
+				sc := b.newScratch()
 				for i := lo + w; i < total; i += workers {
 					if errs[i-lo] = sampleOne(sc, i); errs[i-lo] != nil {
 						return
@@ -409,6 +438,9 @@ func (b *setBuilder) assemble(n int) *Set {
 		set.BaselinePairs += b.baseline[i]
 		set.Pairs = append(set.Pairs, b.perReal[i]...)
 	}
+	if b.opts.Footprints {
+		set.Footprints = append([][]int32(nil), b.perFoot[:n]...)
+	}
 	set.buildIndex()
 	return set
 }
@@ -433,6 +465,12 @@ type scratch struct {
 	// buckets[t] queues nodes whose best need is t, processed from high
 	// to low so the first pop of a node carries its final (maximum) need.
 	buckets [][]int32
+	// Footprint collection (Options.Footprints): fpSeen[v] == fpCur marks v
+	// already in fpOut for the realization in flight; fpOut accumulates the
+	// footprint across the forward pass and every backward search.
+	fpSeen []int32
+	fpCur  int32
+	fpOut  []int32
 }
 
 func newScratch(p *core.Problem) *scratch {
@@ -440,13 +478,51 @@ func newScratch(p *core.Problem) *scratch {
 	return &scratch{best: make([]int32, n), stamp: make([]int32, n)}
 }
 
+// enableFootprints switches the scratch to footprint-collecting mode.
+func (sc *scratch) enableFootprints(p *core.Problem) {
+	sc.fpSeen = make([]int32, p.Graph.NumNodes())
+}
+
+// fpMark adds v to the realization's footprint once.
+func (sc *scratch) fpMark(v int32) {
+	if sc.fpSeen[v] != sc.fpCur {
+		sc.fpSeen[v] = sc.fpCur
+		sc.fpOut = append(sc.fpOut, v)
+	}
+}
+
 // sampleRealization computes the pairs of one realization: a forward
 // temporal-arrival pass for the rumor clock, then one backward RR search
-// per coverable end.
-func sampleRealization(sc *scratch, p *core.Problem, realSeed uint64, realIdx int32, maxHops int) ([]Pair, int, error) {
+// per coverable end. When the scratch collects footprints, the returned
+// footprint is the sorted set of nodes whose adjacency this realization
+// read with effect; otherwise nil.
+//
+// The footprint contract (what Repair's skip argument needs): re-sampling
+// this realization on a graph whose mutations avoid every footprint node
+// yields identical pairs. Three read classes make up the set. (1) The
+// forward pass: every activated node — only active nodes' out-rows drive
+// proposals, so if none of them changed, activation replays step for step.
+// (The pass also counts forward-reachable nodes for its early exit, but
+// once every reachable node is active no later step can activate anything,
+// so the exit changes no arrival — the reachable count stays out of the
+// footprint.) (2) Backward searches: every finalized node — its in-row is
+// scanned for relays. (3) Every non-rumor in-neighbour considered as a
+// relay — its out-degree, out-row and rumor arrival are read. Rumor-seed
+// neighbours are skipped before any read, and their seed status is part of
+// the problem, not the graph.
+func sampleRealization(sc *scratch, p *core.Problem, realSeed uint64, realIdx int32, maxHops int) ([]Pair, int, []int32, error) {
 	arrR, err := diffusion.OPOAOArrivals(p.Graph, p.Rumors, realSeed, maxHops)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
+	}
+	if sc.fpSeen != nil {
+		sc.fpCur++
+		sc.fpOut = sc.fpOut[:0]
+		for u, a := range arrR {
+			if a >= 0 {
+				sc.fpMark(int32(u))
+			}
+		}
 	}
 	var pairs []Pair
 	base := 0
@@ -459,7 +535,12 @@ func sampleRealization(sc *scratch, p *core.Problem, realSeed uint64, realIdx in
 		nodes := sc.rrSet(p, realSeed, e, tR, arrR)
 		pairs = append(pairs, Pair{Realization: realIdx, End: int32(ei), Nodes: nodes})
 	}
-	return pairs, base, nil
+	var foot []int32
+	if sc.fpSeen != nil {
+		foot = append(foot, sc.fpOut...)
+		sort.Slice(foot, func(i, j int) bool { return foot[i] < foot[j] })
+	}
+	return pairs, base, foot, nil
 }
 
 // rrSet runs the backward temporal search from end e with rumor arrival
@@ -502,12 +583,18 @@ func (sc *scratch) rrSet(p *core.Problem, realSeed uint64, e, tR int32, arrR []i
 			}
 			sc.best[x] = -1 - t // mark finalized
 			out = append(out, x)
+			if sc.fpSeen != nil {
+				sc.fpMark(x) // finalized: its in-row is scanned below
+			}
 			if t == 0 {
 				continue // relaying to x would need activation before hop 0
 			}
 			for _, w := range g.In(x) {
 				if p.IsRumor(w) {
 					continue // the rumor's own seeds never relay cascade P
+				}
+				if sc.fpSeen != nil {
+					sc.fpMark(w) // considered relay: degree/out-row/arrival read
 				}
 				if sc.stamp[w] == sc.cur && sc.best[w] < 0 {
 					continue // already finalized at its maximum need

@@ -181,3 +181,22 @@ func Load(path, fingerprint string) (*Set, error) {
 	set.buildIndex()
 	return &set, nil
 }
+
+// LoadVersioned is Load plus the dynamic-graph version binding: the store
+// must also be current for master version `version`. A fingerprint can
+// match while the version trails — a mutation batch and its inverse
+// restore the same adjacency (same graph hash) while the store was patched
+// only to the earlier version — and a dynamic daemon must treat that store
+// as stale, never serve it silently. The mismatch error wraps ErrStale and
+// carries both versions.
+func LoadVersioned(path, fingerprint string, version uint64) (*Set, error) {
+	set, err := Load(path, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	if set.Version != version {
+		return nil, fmt.Errorf("sketch: load %s: store at graph version %d, master at version %d: %w",
+			path, set.Version, version, ErrStale)
+	}
+	return set, nil
+}

@@ -146,3 +146,46 @@ func TestFingerprintSensitivity(t *testing.T) {
 		t.Error("zero options and explicit defaults fingerprint differently")
 	}
 }
+
+// Satellite: the dynamic-graph version binding. A mutation batch and its
+// inverse restore the same adjacency — so the fingerprint matches — while
+// the store was only patched to the earlier version. LoadVersioned must
+// reject that store with ErrStale and name both versions.
+func TestLoadVersionedRejectsTrailingVersion(t *testing.T) {
+	p := testProblem(t, 300, 40, 41)
+	opts := Options{Samples: 16, Seed: 5, Footprints: true}
+	set, err := Build(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Version = 3
+	path := filepath.Join(t.TempDir(), "sketch.json")
+	if err := Save(path, set); err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint(p, opts)
+
+	got, err := LoadVersioned(path, fp, 3)
+	if err != nil {
+		t.Fatalf("load at matching version: %v", err)
+	}
+	if !reflect.DeepEqual(got, set) {
+		t.Fatal("versioned load differs from saved sketch")
+	}
+	if got.Footprints == nil || len(got.Footprints) != 16 {
+		t.Fatalf("footprints did not survive the round trip: %d", len(got.Footprints))
+	}
+
+	_, err = LoadVersioned(path, fp, 7)
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("trailing version: got %v, want ErrStale", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "version 3") || !strings.Contains(msg, "version 7") {
+		t.Fatalf("stale-version error must carry both versions, got %q", msg)
+	}
+	// Wrong fingerprint still loses to the fingerprint check first.
+	if _, err := LoadVersioned(path, "bogus", 3); !errors.Is(err, ErrStale) {
+		t.Fatalf("wrong fingerprint: got %v, want ErrStale", err)
+	}
+}

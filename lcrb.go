@@ -30,6 +30,11 @@
 //   - the sharded scatter-gather RIS solve tier: realization-partitioned
 //     sketch slices solved by a fault-tolerant coordinator, bit-identical
 //     to the single store when all shards survive (internal/shardsolve)
+//   - dynamic graphs: a versioned mutation log over a mutable master with
+//     immutable copy-on-write snapshots, plus incremental RR-sketch repair
+//     that re-draws only delta-touched realizations and is bit-identical
+//     to a full rebuild (internal/dyngraph, RepairSketches; served live by
+//     cmd/lcrbd -dynamic behind POST /v1/graph/delta)
 //
 // # Quick start
 //
@@ -53,6 +58,7 @@ import (
 	"lcrb/internal/community"
 	"lcrb/internal/core"
 	"lcrb/internal/diffusion"
+	"lcrb/internal/dyngraph"
 	"lcrb/internal/gen"
 	"lcrb/internal/graph"
 	"lcrb/internal/heuristic"
@@ -340,6 +346,92 @@ func LoadSketches(path, fingerprint string) (*SketchSet, error) {
 // drifted are stale.
 func SketchFingerprint(p *Problem, opts SketchOptions) string {
 	return sketch.Fingerprint(p, opts)
+}
+
+// Re-exported dynamic-graph types (internal/dyngraph). A GraphMaster is
+// the single mutable copy of an evolving network: ApplyDelta validates a
+// batched mutation against the current version (optimistic concurrency),
+// advances the monotonic version counter, and records a dirty-node summary
+// in the mutation log; Snapshot returns an immutable CSR graph any number
+// of solves can share while the master keeps moving.
+type (
+	// GraphMaster is the mutable, versioned master copy of a graph.
+	GraphMaster = dyngraph.Master
+	// GraphDelta is one batched mutation: node additions/removals and
+	// edge additions/removals applied atomically at a base version.
+	GraphDelta = dyngraph.Delta
+	// GraphSnapshot is an immutable graph at a version.
+	GraphSnapshot = dyngraph.Snapshot
+	// GraphDeltaSummary reports what one applied delta actually changed,
+	// dirty nodes included.
+	GraphDeltaSummary = dyngraph.Summary
+	// GraphStreamDelta is one timestamped batch of a recorded mutation
+	// stream (JSONL via WriteDeltaStream/ReadDeltaStream).
+	GraphStreamDelta = dyngraph.StreamDelta
+	// GraphStreamConfig tunes GenerateDeltaStream.
+	GraphStreamConfig = dyngraph.StreamConfig
+	// SketchRepairStats reports what an incremental repair did: kept vs
+	// re-drawn realizations, end-set changes, full-rebuild fallbacks.
+	SketchRepairStats = sketch.RepairStats
+)
+
+// Dynamic-graph sentinels; test with errors.Is.
+var (
+	// ErrGraphVersionConflict is returned (wrapped) by ApplyDelta when the
+	// delta's base version is not the master's current version.
+	ErrGraphVersionConflict = dyngraph.ErrVersionConflict
+	// ErrGraphInvalidDelta is returned (wrapped) by ApplyDelta when the
+	// delta references nodes out of range or otherwise fails validation;
+	// the master is left untouched.
+	ErrGraphInvalidDelta = dyngraph.ErrInvalidDelta
+	// ErrSketchNoFootprints is returned by RepairSketches when the set was
+	// built without SketchOptions.Footprints and cannot repair
+	// incrementally.
+	ErrSketchNoFootprints = sketch.ErrNoFootprints
+)
+
+// NewGraphMaster returns a mutable master seeded from g at version 1.
+func NewGraphMaster(g *Graph) (*GraphMaster, error) { return dyngraph.NewMaster(g) }
+
+// GenerateDeltaStream draws a deterministic stream of valid mutation
+// batches against g — the replayable workload for dynamic-graph tests and
+// the cmd/lcrbgen -deltas output.
+func GenerateDeltaStream(g *Graph, batches int, seed uint64, cfg GraphStreamConfig) ([]GraphStreamDelta, error) {
+	return dyngraph.GenerateStream(g, batches, seed, cfg)
+}
+
+// WriteDeltaStream writes a mutation stream as JSONL, one batch per line.
+func WriteDeltaStream(w io.Writer, stream []GraphStreamDelta) error {
+	return dyngraph.WriteStream(w, stream)
+}
+
+// ReadDeltaStream parses a JSONL mutation stream.
+func ReadDeltaStream(r io.Reader) ([]GraphStreamDelta, error) { return dyngraph.ReadStream(r) }
+
+// RepairSketches incrementally rebinds a footprint-carrying sketch from
+// oldP to newP after a graph delta whose dirty nodes are given: only
+// realizations whose footprint intersects the dirty set are re-drawn (from
+// their original seeds), the rest are kept verbatim, and the result is
+// bit-for-bit identical to BuildSketches on newP — stamped with version.
+// When the delta changed the bridge-end set the repair falls back to a
+// full fixed-size rebuild (reported in SketchRepairStats.FullRebuild).
+func RepairSketches(oldP, newP *Problem, set *SketchSet, dirty []int32, version uint64, workers int) (*SketchSet, *SketchRepairStats, error) {
+	return RepairSketchesContext(context.Background(), oldP, newP, set, dirty, version, workers)
+}
+
+// RepairSketchesContext is RepairSketches with cancellation support;
+// repairs are all-or-nothing.
+func RepairSketchesContext(ctx context.Context, oldP, newP *Problem, set *SketchSet, dirty []int32, version uint64, workers int) (*SketchSet, *SketchRepairStats, error) {
+	return sketch.RepairContext(ctx, oldP, newP, set, dirty, version, workers)
+}
+
+// LoadSketchesVersioned is LoadSketches plus a graph-version binding: a
+// stored sketch whose fingerprint matches but whose Version trails the
+// expected one is rejected with an error wrapping ErrSketchStale naming
+// both versions. Serving layers use it so a snapshot swap can never
+// silently serve a sketch of the previous graph version.
+func LoadSketchesVersioned(path, fingerprint string, version uint64) (*SketchSet, error) {
+	return sketch.LoadVersioned(path, fingerprint, version)
 }
 
 // Re-exported sharded scatter-gather solve types (internal/shardsolve).

@@ -298,3 +298,82 @@ func TestFacadeShardedSolve(t *testing.T) {
 			res.Protectors, res.Gains, want.Protectors, want.Gains)
 	}
 }
+
+// TestFacadeDynamicGraph drives the dynamic-graph surface through the
+// public API: master + delta stream round trip, incremental sketch repair
+// equal to a full rebuild, and the version-conflict sentinel.
+func TestFacadeDynamicGraph(t *testing.T) {
+	net, err := lcrb.GenerateHep(0.04, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := lcrb.DetectCommunities(net.Graph, 1)
+	comm := part.ClosestBySize(40)
+	members := part.Members(comm)
+	prob, err := lcrb.NewProblem(net.Graph, part.Assign(), comm, members[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.NumEnds() == 0 {
+		t.Skip("no bridge ends for this draw")
+	}
+
+	opts := lcrb.SketchOptions{Samples: 16, Seed: 7, Footprints: true}
+	set, err := lcrb.BuildSketches(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lcrb.NewGraphMaster(net.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := lcrb.GenerateDeltaStream(net.Graph, 3, 5, lcrb.GraphStreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lcrb.WriteDeltaStream(&buf, stream); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := lcrb.ReadDeltaStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replay, stream) {
+		t.Fatal("delta stream did not survive the JSONL round trip")
+	}
+
+	oldP := prob
+	for i, sd := range replay {
+		snap, sum, err := m.ApplyDelta(sd.Delta)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		assign := append([]int32(nil), oldP.Assign...)
+		for int32(len(assign)) < snap.Graph.NumNodes() {
+			assign = append(assign, -1)
+		}
+		newP, err := lcrb.NewProblem(snap.Graph, assign, oldP.RumorCommunity, oldP.Rumors)
+		if err != nil {
+			t.Fatalf("batch %d: problem: %v", i, err)
+		}
+		repaired, _, err := lcrb.RepairSketches(oldP, newP, set, sum.DirtyNodes, snap.Version, 2)
+		if err != nil {
+			t.Fatalf("batch %d: repair: %v", i, err)
+		}
+		oracle, err := lcrb.BuildSketches(newP, opts)
+		if err != nil {
+			t.Fatalf("batch %d: oracle: %v", i, err)
+		}
+		oracle.Version = snap.Version
+		if !reflect.DeepEqual(repaired, oracle) {
+			t.Fatalf("batch %d: repaired sketch differs from full rebuild", i)
+		}
+		set, oldP = repaired, newP
+	}
+
+	// A replayed batch has a stale base version: the typed conflict.
+	if _, _, err := m.ApplyDelta(replay[0].Delta); !errors.Is(err, lcrb.ErrGraphVersionConflict) {
+		t.Fatalf("stale delta: err = %v, want ErrGraphVersionConflict", err)
+	}
+}
